@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (see the
+experiment index in DESIGN.md), asserts its headline shape, prints the
+rendered report, and archives it under ``benchmarks/results/`` so
+EXPERIMENTS.md can be refreshed from actual runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def archive(report) -> None:
+    """Print and persist an experiment report."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = report.render()
+    print()
+    print(text)
+    path = RESULTS_DIR / f"{report.experiment_id}.txt"
+    path.write_text(text)
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(func, **kwargs):
+        report = benchmark.pedantic(
+            lambda: func(**kwargs), rounds=1, iterations=1
+        )
+        archive(report)
+        return report
+
+    return _run

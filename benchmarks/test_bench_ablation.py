@@ -1,0 +1,31 @@
+"""E9 — ablations: the transfer mechanism and piggyback accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import run_ablation
+
+
+def test_bench_ablation(run_experiment):
+    report = run_experiment(
+        run_ablation, n_sites=25, requests_per_site=20
+    )
+    rows = {row[0]: row for row in report.rows}
+    full = rows["full (transfer on)"]
+    bare = rows["no transfer"]
+    maekawa = rows["maekawa reference"]
+
+    # Disabling the transfer mechanism regresses the delay toward 2T and
+    # reproduces Maekawa exactly (both delay and message counts).
+    assert full[1] < bare[1]
+    assert bare[1] == pytest.approx(maekawa[1], abs=1e-9)
+    assert bare[2] == pytest.approx(maekawa[2], abs=1e-9)
+    # The transfer mechanism converts messages into latency: more msgs/CS,
+    # higher throughput.
+    assert full[2] > bare[2]
+    assert full[4] > bare[4]
+    # Piggyback accounting: naked counts exceed bundled counts for the
+    # full protocol (inquire+transfer, reply+transfer bundles exist).
+    assert full[3] > full[2]
+    assert bare[3] == pytest.approx(bare[2], abs=1e-9)  # nothing to bundle

@@ -1,0 +1,20 @@
+"""E11 — service continuity under crash/recovery churn."""
+
+from __future__ import annotations
+
+from repro.experiments.churn import run_churn
+
+
+def test_bench_churn(run_experiment):
+    report = run_experiment(
+        run_churn,
+        n_sites=9,
+        constructions=("tree", "majority", "rst"),
+        requests_per_site=8,
+    )
+    for row in report.rows:
+        construction, retained, stuck = row[0], row[3], row[4]
+        assert stuck == 0, f"{construction}: live sites wedged under churn"
+        # Churn costs some throughput but the service must stay well
+        # within the same regime (no collapse).
+        assert retained > 0.5, f"{construction}: throughput collapsed"

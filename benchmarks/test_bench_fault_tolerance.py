@@ -1,0 +1,38 @@
+"""E7 — Section 6: availability curves and recovery liveness."""
+
+from __future__ import annotations
+
+from repro.experiments.fault_tolerance import run_availability, run_recovery
+
+
+def test_bench_availability(run_experiment):
+    report = run_experiment(
+        run_availability,
+        n_sites=13,
+        constructions=("grid", "tree", "hierarchical", "majority", "grid-set", "rst"),
+        ps=(0.5, 0.7, 0.8, 0.9, 0.95, 0.99),
+    )
+    rows = {row[0]: row for row in report.rows}
+    # At p=0.9 the fault-tolerant constructions dominate the plain grid —
+    # the qualitative ranking Section 6 argues for.
+    p90 = 4  # column index of p=0.9
+    for name in ("tree", "majority"):
+        assert rows[name][p90] >= rows["grid"][p90]
+    # Availability is monotone in p for every construction.
+    for name, row in rows.items():
+        values = row[1:]
+        assert list(values) == sorted(values), name
+
+
+def test_bench_recovery(run_experiment):
+    report = run_experiment(
+        run_recovery,
+        n_sites=15,
+        quorum="tree",
+        requests_per_site=6,
+        crashes=[0, 4],
+        crash_times=[6.0, 14.0],
+    )
+    rows = {row[0]: row[1] for row in report.rows}
+    assert rows["unserved at live sites"] == 0
+    assert rows["inaccessible live sites"] == 0

@@ -1,0 +1,19 @@
+"""E3 — Section 5.2: heavy-load message cost within [5(K-1), 6(K-1)]."""
+
+from __future__ import annotations
+
+from repro.experiments.heavy_load import run_heavy_load
+
+
+def test_bench_heavy_load(run_experiment):
+    report = run_experiment(
+        run_heavy_load,
+        n_sites=25,
+        quorums=("grid", "tree"),
+        requests_per_site=25,
+    )
+    for row in report.rows:
+        quorum, measured, floor, ceiling = row[0], row[2], row[3], row[5]
+        # The paper's 5(K-1)/6(K-1) are the fully-contended cases; the
+        # measured mean must sit inside the [3(K-1), 6(K-1)] band.
+        assert floor - 1e-9 <= measured <= ceiling + 1e-9, quorum

@@ -1,0 +1,23 @@
+"""E2 — Section 5.1: light-load message cost and response time."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.light_load import run_light_load
+
+
+def test_bench_light_load(run_experiment):
+    report = run_experiment(
+        run_light_load,
+        n_sites=25,
+        quorums=("grid", "tree", "majority", "hierarchical"),
+        horizon=4000.0,
+        rate=0.001,
+        cs_duration=0.25,
+    )
+    for row in report.rows:
+        quorum, measured, paper = row[0], row[2], row[3]
+        assert measured == pytest.approx(paper, rel=0.06), quorum
+        resp, paper_resp = row[4], row[5]
+        assert resp == pytest.approx(paper_resp, rel=0.06), quorum

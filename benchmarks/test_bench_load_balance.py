@@ -1,0 +1,20 @@
+"""E10 — arbitration load balance across quorum constructions."""
+
+from __future__ import annotations
+
+from repro.experiments.load_balance import run_load_balance
+
+
+def test_bench_load_balance(run_experiment):
+    report = run_experiment(
+        run_load_balance,
+        n_sites=21,
+        constructions=("grid", "tree", "hierarchical", "majority", "wheel"),
+        requests_per_site=10,
+    )
+    rows = {row[0]: row for row in report.rows}
+    assert rows["grid"][4] < 1.35          # near-balanced
+    assert rows["majority"][4] < 1.35      # ring-balanced
+    assert rows["tree"][4] > rows["grid"][4]   # root hotspot
+    assert rows["wheel"][4] > rows["tree"][4]  # hub hotspot is worst
+    assert rows["tree"][5] == 0            # the hotspot is the root

@@ -1,0 +1,26 @@
+"""E8 — figure-style load sweep: the message/delay trade-off vs load."""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.load_sweep import run_load_sweep
+
+
+def test_bench_load_sweep(run_experiment):
+    report = run_experiment(
+        run_load_sweep,
+        n_sites=16,
+        rates=(0.001, 0.005, 0.02, 0.05, 0.1),
+        horizon=1500.0,
+    )
+    for row in report.rows:
+        cs_msgs, mk_msgs, ra_msgs = row[1], row[2], row[3]
+        cs_resp, mk_resp = row[4], row[5]
+        if any(math.isnan(v) for v in (cs_msgs, mk_msgs, ra_msgs, cs_resp, mk_resp)):
+            continue
+        # Message side: the proposed algorithm stays in Maekawa's O(K)
+        # family, below Ricart-Agrawala's O(N).
+        assert cs_msgs < ra_msgs
+        # Latency side: it responds no slower than Maekawa.
+        assert cs_resp <= mk_resp * 1.05

@@ -1,0 +1,24 @@
+"""E12 — arbiter queue dynamics across the load range."""
+
+from __future__ import annotations
+
+from repro.experiments.queueing import run_queueing
+
+
+def test_bench_queueing(run_experiment):
+    report = run_experiment(
+        run_queueing,
+        n_sites=16,
+        rates=(0.005, 0.02, 0.05, None),
+        horizon=800.0,
+    )
+    rows = report.rows
+    # Queues grow with load for both algorithms.
+    cs_means = [row[1] for row in rows]
+    mk_means = [row[2] for row in rows]
+    assert cs_means[0] < cs_means[-1]
+    assert mk_means[0] < mk_means[-1]
+    # At light load queues are essentially empty (Section 5.1's premise).
+    assert cs_means[0] < 0.2
+    # At saturation Maekawa's slower drains keep queues at least as long.
+    assert mk_means[-1] >= cs_means[-1] * 0.95

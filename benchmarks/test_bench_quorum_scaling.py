@@ -1,0 +1,27 @@
+"""E6 — quorum size scaling per construction (Section 5.3 / 6)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.quorum_scaling import run_quorum_scaling
+
+
+def test_bench_quorum_scaling(run_experiment):
+    report = run_experiment(run_quorum_scaling, sizes=(9, 16, 25, 49, 100, 225))
+    for row in report.rows:
+        n = row[0]
+        grid, sqrt_n = row[1], row[2]
+        tree, log_n = row[3], row[4]
+        majority, half = row[7], row[8]
+        # Grid tracks 2*sqrt(N)-1 (row+column), i.e. O(sqrt N).
+        assert grid == pytest.approx(2 * math.sqrt(n) - 1, rel=0.25)
+        # Tree tracks log2(N+1) closely in the failure-free case.
+        assert tree == pytest.approx(log_n, rel=0.35)
+        # Majority is exactly floor(N/2)+1.
+        assert majority == pytest.approx(half, abs=1e-9)
+    # Asymptotic ordering at the largest size: log < sqrt < N^0.63 < N/2.
+    last = report.rows[-1]
+    assert last[3] < last[1] < last[5] < last[7]

@@ -1,0 +1,21 @@
+"""E4 — the headline claim: synchronization delay T vs 2T across N."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.delay import run_delay
+
+
+def test_bench_sync_delay(run_experiment):
+    report = run_experiment(
+        run_delay, sizes=(9, 16, 25), requests_per_site=20, cs_duration=1.0
+    )
+    for row in report.rows:
+        n, proposed, ablation, maekawa = row[0], row[1], row[2], row[3]
+        assert proposed == pytest.approx(1.0, abs=0.1), f"N={n}"
+        assert maekawa == pytest.approx(2.0, abs=0.1), f"N={n}"
+        assert ablation == pytest.approx(maekawa, rel=0.02), f"N={n}"
+        # Medians are exact.
+        assert row[4] == pytest.approx(1.0, abs=1e-6)
+        assert row[6] == pytest.approx(2.0, abs=1e-6)

@@ -1,0 +1,33 @@
+"""E1 — regenerate the paper's Table 1 (measured vs analytical)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.table1 import render_analytic_table1
+from repro.experiments.table1 import run_table1
+
+N_SITES = 25
+
+
+def test_bench_table1(run_experiment):
+    report = run_experiment(
+        run_table1, n_sites=N_SITES, seed=1, requests_per_site=12
+    )
+    print(render_analytic_table1(N_SITES))
+
+    rows = {(r[0], r[1]): r for r in report.rows}
+    proposed = rows[("cao-singhal", "grid")]
+    maekawa = rows[("maekawa", "grid")]
+    lamport = rows[("lamport", "-")]
+    ra = rows[("ricart-agrawala", "-")]
+
+    # Sync delay: the headline T vs 2T separation.
+    assert proposed[5] == pytest.approx(1.0, abs=0.15)
+    assert maekawa[5] == pytest.approx(2.0, abs=0.15)
+    # Message complexity families: O(K) quorum algorithms beat O(N)
+    # broadcast algorithms at N=25 under both loads.
+    assert proposed[3] < ra[3] < lamport[3]
+    # Light-load cost matches 3(K-1) closely.
+    k = proposed[2]
+    assert proposed[3] == pytest.approx(3 * (k - 1), rel=0.05)

@@ -1,0 +1,23 @@
+"""E5 — throughput doubled / waiting time halved at heavy load."""
+
+from __future__ import annotations
+
+from repro.experiments.throughput import run_throughput
+
+
+def test_bench_throughput(run_experiment):
+    report = run_experiment(
+        run_throughput,
+        n_sites=25,
+        requests_per_site=25,
+        cs_duration=0.1,
+    )
+    rows = {row[0]: row for row in report.rows}
+    proposed, maekawa = rows["cao-singhal"], rows["maekawa"]
+    ideal = (2.0 + 0.1) / (1.0 + 0.1)  # (2T+E)/(T+E)
+    ratio = proposed[1] / maekawa[1]
+    # Who wins and by roughly what factor: within 25% of the ideal ratio.
+    assert ratio > 1.0
+    assert abs(ratio - ideal) / ideal < 0.25
+    # Waiting time nearly halved.
+    assert maekawa[2] / proposed[2] > 1.4

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A lock service that survives site crashes (paper Section 6).
+
+Fifteen sites run the fault-tolerant variant of the delay-optimal
+algorithm over Agrawal–El Abbadi tree quorums. Mid-run we crash the *tree
+root* — the site every failure-free quorum passes through — and later a
+second site. Heartbeat failure detectors notice the silence, broadcast the
+paper's ``failure(i)`` notices, sites re-run quorum construction around
+the dead nodes, arbiters purge the dead sites' requests, and service
+continues.
+
+The run demonstrates the Section 6 claims:
+
+* the algorithm is quorum-agnostic, so swapping in a fault-tolerant
+  construction adds resilience with no change to the mutex core;
+* after a failure, live sites' pending and future requests still complete;
+* mutual exclusion holds through the failures and the recovery.
+
+Run: ``python examples/fault_tolerant_lock_service.py``
+"""
+
+from __future__ import annotations
+
+from repro.ft import MonitoredSite
+from repro.metrics.collector import MetricsCollector
+from repro.quorums import TreeQuorumSystem
+from repro.sim import ConstantDelay, Simulator
+from repro.verify import check_mutual_exclusion
+
+N_SITES = 15
+REQUESTS_PER_SITE = 4
+CRASHES = {0: 12.0, 9: 30.0}  # site -> crash time (site 0 is the tree root)
+
+
+def main() -> None:
+    quorums = TreeQuorumSystem(N_SITES)
+    sim = Simulator(seed=11, delay_model=ConstantDelay(1.0))
+    metrics = MetricsCollector()
+
+    sites = [
+        MonitoredSite(
+            i,
+            quorums,
+            cs_duration=0.3,
+            listener=metrics,
+            hb_interval=2.0,   # heartbeat every 2T
+            hb_timeout=6.0,    # suspect after 6T of silence
+            hb_lifetime=300.0,
+        )
+        for i in range(N_SITES)
+    ]
+    for site in sites:
+        sim.add_node(site)
+        for _ in range(REQUESTS_PER_SITE):
+            sim.schedule(0.0, site.submit_request)
+
+    for victim, at in CRASHES.items():
+        sim.schedule(at, lambda v=victim: sim.crash(v), label=f"crash:{victim}")
+
+    print(f"lock service: {N_SITES} sites, tree quorums "
+          f"(K = {quorums.mean_quorum_size():.1f}); "
+          f"crashing root at t=12 and site 9 at t=30\n")
+
+    sim.start()
+    sim.run(until=400.0)
+
+    check_mutual_exclusion(metrics.records)
+    victims = set(CRASHES)
+    served = len(metrics.completed)
+    live_unserved = [
+        r for r in metrics.records if not r.complete and r.site not in victims
+    ]
+    print(f"served {served} lock acquisitions by t={sim.now:.0f}")
+    print(f"unserved requests at live sites: {len(live_unserved)} (must be 0)")
+    assert not live_unserved
+
+    detectors = sorted(
+        (s.site_id, sorted(s.monitor.suspected)) for s in sites
+        if s.site_id not in victims
+    )
+    suspected_sets = {tuple(susp) for _, susp in detectors}
+    print(f"every live detector converged on suspects: {suspected_sets}")
+
+    sample = next(s for s in sites if s.site_id not in victims)
+    print(f"site {sample.site_id} re-quorumed to "
+          f"{sorted(sample.quorum)} (avoids {sorted(sample.known_failed)})")
+    print("\nmutual exclusion verified across crashes and recovery — "
+          "Section 6 works as advertised")
+
+
+if __name__ == "__main__":
+    main()

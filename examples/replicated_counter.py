@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Lost updates, and how the paper's mutex prevents them.
+
+The paper's conclusion proposes pairing the delay-optimal mutex with
+quorum replica control. This example makes the pairing concrete on the
+textbook workload — a replicated counter everyone increments:
+
+1. **Unguarded** quorum read-modify-writes race: two sites both read
+   version ``v``, both write ``v+1``, and one increment vanishes
+   (last-writer-wins). We count the lost updates.
+2. **Guarded** by :class:`~repro.replication.LockedRegisterSite`, every
+   read-modify-write runs inside the distributed critical section
+   (acquired with the T-handoff algorithm over tree quorums, while the
+   *data* lives on majority quorums) and nothing is ever lost.
+
+Also prints the CS timeline of the guarded run so the serialized
+handoffs are visible.
+
+Run: ``python examples/replicated_counter.py``
+"""
+
+from __future__ import annotations
+
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.timeline import render_timeline
+from repro.quorums import MajorityQuorumSystem, TreeQuorumSystem
+from repro.replication import LockedRegisterSite, ReplicaSite
+from repro.sim import Simulator, UniformDelay
+
+N_SITES = 7
+INCREMENTS_PER_SITE = 3
+TOTAL = N_SITES * INCREMENTS_PER_SITE
+
+
+def unguarded() -> int:
+    """Everyone fires concurrent read-modify-writes; return final value."""
+    data = MajorityQuorumSystem(N_SITES)
+    sim = Simulator(seed=21, delay_model=UniformDelay(0.5, 1.5))
+    sites = [
+        ReplicaSite(i, data.quorum_for(i), initial_value=0) for i in range(N_SITES)
+    ]
+    for s in sites:
+        sim.add_node(s)
+    sim.start()
+
+    def increment(site: ReplicaSite, remaining: int) -> None:
+        if remaining == 0:
+            return
+        site.read(
+            lambda value, version: site.write(
+                value + 1, lambda v: increment(site, remaining - 1)
+            )
+        )
+
+    for s in sites:
+        increment(s, INCREMENTS_PER_SITE)
+    sim.run()
+
+    final = []
+    sites[0].read(lambda value, version: final.append(value))
+    sim.run()
+    return final[0]
+
+
+def guarded():
+    """The same increments, serialized by the delay-optimal mutex."""
+    lock = TreeQuorumSystem(N_SITES)     # cheap K = log N lock quorums
+    data = MajorityQuorumSystem(N_SITES)  # highly available data quorums
+    sim = Simulator(seed=21, delay_model=UniformDelay(0.5, 1.5))
+    metrics = MetricsCollector()
+    sites = [
+        LockedRegisterSite(
+            i,
+            lock_quorum=lock.quorum_for(i),
+            data_quorum=data.quorum_for(i),
+            initial_value=0,
+            listener=metrics,
+        )
+        for i in range(N_SITES)
+    ]
+    for s in sites:
+        sim.add_node(s)
+        for _ in range(INCREMENTS_PER_SITE):
+            s.submit_update(lambda v: v + 1)
+    sim.start()
+    sim.run()
+
+    final = []
+    sites[0].read(lambda value, version: final.append(value))
+    sim.run()
+    return final[0], metrics
+
+
+def main() -> None:
+    lost_run = unguarded()
+    print(f"unguarded RMW increments : {TOTAL} issued -> counter = {lost_run} "
+          f"({TOTAL - lost_run} updates LOST to write-write races)")
+
+    value, metrics = guarded()
+    print(f"mutex-guarded increments : {TOTAL} issued -> counter = {value} "
+          f"(nothing lost)")
+    assert value == TOTAL
+
+    print("\nCS timeline of the guarded run (each # block = one guarded "
+          "read-modify-write):\n")
+    print(render_timeline(metrics.records, width=70))
+
+
+if __name__ == "__main__":
+    main()

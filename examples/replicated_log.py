@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Replicated append-only log guarded by distributed mutual exclusion.
+
+The paper's motivating applications are replicated data and atomic
+commitment: a resource that must be updated by one site at a time. This
+example builds exactly that — every site repeatedly appends its next local
+record to a fully replicated log, entering the critical section for each
+append — and then *proves* the runs were serialized:
+
+* every replica ends up with the identical sequence (no lost or
+  interleaved appends);
+* each site's own records appear in issue order (the per-site FIFO the
+  local backlog guarantees);
+* the mutual-exclusion checker validates the recorded CS intervals.
+
+The "network" carrying the log replication piggybacks on the simulation:
+an append performed inside the CS is applied to every replica before the
+CS is released (in a real deployment this would be the write to the
+replicated store that the lock protects).
+
+Run: ``python examples/replicated_log.py``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.site import CaoSinghalSite
+from repro.metrics.collector import MetricsCollector
+from repro.mutex.base import RunListener
+from repro.quorums import make_quorum_system
+from repro.sim import Simulator, UniformDelay
+from repro.verify import check_mutual_exclusion
+
+N_SITES = 9
+APPENDS_PER_SITE = 5
+
+Record = Tuple[int, int]  # (site, local sequence number)
+
+
+class ReplicatedLog:
+    """The shared resource: one logical log, one physical copy per site."""
+
+    def __init__(self, n_sites: int) -> None:
+        self.replicas: Dict[int, List[Record]] = {s: [] for s in range(n_sites)}
+
+    def append_everywhere(self, record: Record) -> None:
+        """Apply an append to all replicas (performed inside the CS)."""
+        for replica in self.replicas.values():
+            replica.append(record)
+
+    def check_convergence(self) -> List[Record]:
+        """All replicas identical; returns the agreed sequence."""
+        sequences = list(self.replicas.values())
+        first = sequences[0]
+        assert all(seq == first for seq in sequences), "replicas diverged!"
+        return first
+
+
+class AppendingListener(RunListener):
+    """Performs the guarded append whenever a site enters the CS."""
+
+    def __init__(self, log: ReplicatedLog, metrics: MetricsCollector) -> None:
+        self.log = log
+        self.metrics = metrics
+        self.next_seq: Dict[int, int] = {}
+
+    def on_request(self, site: int, time: float) -> None:
+        self.metrics.on_request(site, time)
+
+    def on_enter(self, site: int, time: float) -> None:
+        self.metrics.on_enter(site, time)
+        seq = self.next_seq.get(site, 0)
+        self.next_seq[site] = seq + 1
+        self.log.append_everywhere((site, seq))
+
+    def on_exit(self, site: int, time: float) -> None:
+        self.metrics.on_exit(site, time)
+
+
+def main() -> None:
+    quorums = make_quorum_system("tree", N_SITES)  # K = log N quorums
+    sim = Simulator(seed=7, delay_model=UniformDelay(0.5, 1.5))
+    log = ReplicatedLog(N_SITES)
+    metrics = MetricsCollector()
+    listener = AppendingListener(log, metrics)
+
+    sites = [
+        CaoSinghalSite(i, quorums.quorum_for(i), cs_duration=0.2, listener=listener)
+        for i in range(N_SITES)
+    ]
+    for site in sites:
+        sim.add_node(site)
+        for _ in range(APPENDS_PER_SITE):
+            sim.schedule(0.0, site.submit_request)
+
+    sim.start()
+    sim.run()
+
+    # -- verification ------------------------------------------------------
+    check_mutual_exclusion(metrics.records)
+    agreed = log.check_convergence()
+    assert len(agreed) == N_SITES * APPENDS_PER_SITE
+    for site in range(N_SITES):
+        own = [seq for s, seq in agreed if s == site]
+        assert own == sorted(own), f"site {site} records out of order"
+
+    print(f"replicated {len(agreed)} appends across {N_SITES} replicas "
+          f"in {sim.now:.1f} time units "
+          f"({sim.network.stats.messages_sent} protocol messages)")
+    print("all replicas converged; per-site order preserved; "
+          "mutual exclusion verified")
+    print("\nfirst ten agreed records:", agreed[:10])
+
+
+if __name__ == "__main__":
+    main()

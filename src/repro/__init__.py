@@ -1,0 +1,44 @@
+"""repro — reference implementation of Cao & Singhal's delay-optimal
+quorum-based distributed mutual exclusion (ICDCS 1998).
+
+Public surface (see README for a tour):
+
+* :mod:`repro.core` — the proposed algorithm (and its fault-tolerant
+  extension).
+* :mod:`repro.quorums` — coteries and every quorum construction the paper
+  references.
+* :mod:`repro.mutex` — the baseline algorithms of Table 1.
+* :mod:`repro.sim` — the discrete-event simulation substrate.
+* :mod:`repro.workload`, :mod:`repro.metrics`, :mod:`repro.verify` —
+  load generation, measurement, and dynamic verification of the paper's
+  theorems.
+* :mod:`repro.experiments` — one module per table/figure of the paper.
+"""
+
+from repro.core.site import CaoSinghalSite
+from repro.experiments.runner import RunConfig, RunResult, quick_run, run_mutex
+from repro.metrics.summary import RunSummary
+from repro.mutex.registry import algorithm_names, make_site
+from repro.quorums.registry import make_quorum_system, quorum_system_names
+from repro.sim.network import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.sim.simulator import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CaoSinghalSite",
+    "ConstantDelay",
+    "ExponentialDelay",
+    "RunConfig",
+    "RunResult",
+    "RunSummary",
+    "Simulator",
+    "UniformDelay",
+    "algorithm_names",
+    "make_quorum_system",
+    "make_site",
+    "quick_run",
+    "quorum_system_names",
+    "run_mutex",
+    "__version__",
+]

@@ -1,0 +1,73 @@
+"""Analytical Table 1 of the paper: message complexity and synchronization
+delay of the proposed and existing algorithms.
+
+:func:`analytic_table1` regenerates the paper's comparison table from the
+closed forms; the E1 benchmark prints it next to the measured table.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.closed_form import (
+    AlgorithmCosts,
+    centralized_costs,
+    lamport_costs,
+    maekawa_costs,
+    proposed_costs,
+    raymond_costs,
+    ricart_agrawala_costs,
+    roucairol_carvalho_costs,
+    singhal_heuristic_costs,
+    suzuki_kasami_costs,
+    tree_quorum_size,
+)
+from repro.metrics.tables import render_table
+
+
+def analytic_table1(n: int) -> List[AlgorithmCosts]:
+    """The paper's Table 1 rows, instantiated for ``n`` sites.
+
+    The proposed algorithm appears twice — once with Maekawa grid quorums
+    (``K = sqrt(N)``) and once with tree quorums (``K = log N``) — because
+    Section 5.3 highlights that the scheme is quorum-agnostic.
+    """
+    tree_row = proposed_costs(n, k=tree_quorum_size(n))
+    return [
+        lamport_costs(n),
+        ricart_agrawala_costs(n),
+        roucairol_carvalho_costs(n),
+        maekawa_costs(n),
+        suzuki_kasami_costs(n),
+        singhal_heuristic_costs(n),
+        raymond_costs(n),
+        centralized_costs(n),
+        proposed_costs(n),
+        AlgorithmCosts(
+            name="cao-singhal (tree)",
+            light_messages=tree_row.light_messages,
+            heavy_messages_low=tree_row.heavy_messages_low,
+            heavy_messages_high=tree_row.heavy_messages_high,
+            sync_delay_t=tree_row.sync_delay_t,
+            notes="K = log N tree quorums",
+        ),
+    ]
+
+
+def render_analytic_table1(n: int) -> str:
+    """Paper Table 1 as text, instantiated for ``n`` sites."""
+    rows = []
+    for c in analytic_table1(n):
+        heavy = (
+            f"{c.heavy_messages_low:.1f}"
+            if c.heavy_messages_low == c.heavy_messages_high
+            else f"{c.heavy_messages_low:.1f}-{c.heavy_messages_high:.1f}"
+        )
+        rows.append(
+            [c.name, f"{c.light_messages:.1f}", heavy, f"{c.sync_delay_t:.1f}T", c.notes]
+        )
+    return render_table(
+        ["algorithm", "msgs (light)", "msgs (heavy)", "sync delay", "notes"],
+        rows,
+        title=f"Table 1 (analytical), N = {n}",
+    )

@@ -1,0 +1,172 @@
+"""Command-line interface.
+
+Two subcommands::
+
+    repro run  --algorithm cao-singhal --sites 25 --quorum grid ...
+    repro experiment E1 [options]        # regenerate a paper table/figure
+    repro experiment all                 # everything, EXPERIMENTS.md style
+
+(Invoke as ``python -m repro.cli`` when the console script is not on
+PATH.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import (
+    run_ablation,
+    run_churn,
+    run_load_balance,
+    run_availability,
+    run_delay,
+    run_heavy_load,
+    run_light_load,
+    run_load_sweep,
+    run_queueing,
+    run_quorum_scaling,
+    run_recovery,
+    run_table1,
+    run_throughput,
+)
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import RunConfig, run_mutex
+from repro.mutex.registry import algorithm_names
+from repro.quorums.registry import quorum_system_names
+from repro.sim.network import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.driver import OpenLoopWorkload, SaturationWorkload
+
+EXPERIMENTS: Dict[str, Callable[[], ExperimentReport]] = {
+    "E1": run_table1,
+    "E2": run_light_load,
+    "E3": run_heavy_load,
+    "E4": run_delay,
+    "E5": run_throughput,
+    "E6": run_quorum_scaling,
+    "E7a": run_availability,
+    "E7b": run_recovery,
+    "E8": run_load_sweep,
+    "E9": run_ablation,
+    "E10": run_load_balance,
+    "E11": run_churn,
+    "E12": run_queueing,
+}
+
+
+def _delay_model(spec: str):
+    """Parse ``constant[:T]``, ``uniform[:lo:hi]``, ``exp[:mean]``."""
+    parts = spec.split(":")
+    kind = parts[0]
+    args = [float(p) for p in parts[1:]]
+    if kind == "constant":
+        return ConstantDelay(*(args or [1.0]))
+    if kind == "uniform":
+        return UniformDelay(*(args or [0.5, 1.5]))
+    if kind in ("exp", "exponential"):
+        return ExponentialDelay(*(args or [1.0]))
+    raise argparse.ArgumentTypeError(f"unknown delay model {spec!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Delay-optimal quorum-based mutual exclusion "
+        "(Cao & Singhal, ICDCS 1998): simulator and evaluation harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation and print its summary")
+    run_p.add_argument(
+        "--algorithm", "-a", default="cao-singhal", choices=algorithm_names()
+    )
+    run_p.add_argument("--sites", "-n", type=int, default=9)
+    run_p.add_argument(
+        "--quorum", "-q", default=None, choices=quorum_system_names()
+    )
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--delay", type=_delay_model, default=None,
+        help="constant[:T] | uniform[:lo:hi] | exp[:mean] (default uniform)",
+    )
+    run_p.add_argument("--cs-duration", type=float, default=0.1)
+    load = run_p.add_mutually_exclusive_group()
+    load.add_argument(
+        "--saturate", type=int, metavar="R",
+        help="heavy load: R back-to-back requests per site",
+    )
+    load.add_argument(
+        "--poisson", type=float, metavar="RATE",
+        help="open loop: Poisson arrivals at RATE per site",
+    )
+    run_p.add_argument(
+        "--horizon", type=float, default=500.0,
+        help="arrival horizon for --poisson",
+    )
+
+    exp_p = sub.add_parser(
+        "experiment", help="regenerate a paper table/figure (or 'all')"
+    )
+    exp_p.add_argument(
+        "id", choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id from DESIGN.md",
+    )
+    fmt = exp_p.add_mutually_exclusive_group()
+    fmt.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of a table"
+    )
+    fmt.add_argument(
+        "--json", action="store_true", help="emit JSON instead of a table"
+    )
+    return parser
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    if args.saturate is not None:
+        workload = SaturationWorkload(args.saturate)
+    elif args.poisson is not None:
+        workload = OpenLoopWorkload(PoissonArrivals(args.poisson), args.horizon)
+    else:
+        workload = SaturationWorkload(20)
+    config = RunConfig(
+        algorithm=args.algorithm,
+        n_sites=args.sites,
+        quorum=args.quorum,
+        seed=args.seed,
+        delay_model=args.delay,
+        cs_duration=args.cs_duration,
+        workload=workload,
+    )
+    result = run_mutex(config)
+    print(result.summary.describe())
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
+    for exp_id in ids:
+        report = EXPERIMENTS[exp_id]()
+        if args.csv:
+            print(report.to_csv())
+        elif args.json:
+            print(report.to_json())
+        else:
+            print(report.render())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "experiment":
+        return cmd_experiment(args)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,70 @@
+"""Leaf module of shared protocol primitives.
+
+Lives at the package root with no intra-package imports so both
+:mod:`repro.core` and :mod:`repro.mutex` can use these types without
+import cycles. User code should import them from :mod:`repro.mutex`
+(which re-exports them) — this module is plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+
+@dataclass(frozen=True)
+class Bundle:
+    """Several control messages piggybacked into one network message.
+
+    Implements the paper's costing rule (Section 5): a control message
+    piggybacked onto another counts as a single message, because the cost
+    is dominated by the header. The combined ``type_name`` (e.g.
+    ``"inquire+transfer"``) keeps per-type counters honest about what the
+    network was actually charged, while :attr:`parts` preserves the
+    logical messages for the receiver and for the ablation experiment that
+    counts naked messages.
+    """
+
+    parts: Tuple[Any, ...]
+
+    @property
+    def type_name(self) -> str:
+        return "+".join(p.type_name for p in self.parts)
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("a bundle needs at least two parts")
+
+
+def bundle_or_single(*parts: Any) -> Any:
+    """Wrap ``parts`` into a :class:`Bundle`, or pass a single one through."""
+    if len(parts) == 1:
+        return parts[0]
+    return Bundle(parts=tuple(parts))
+
+
+@dataclass(frozen=True, order=True)
+class Priority:
+    """A Lamport-style request priority: ``(sequence number, site id)``.
+
+    Smaller compares as *higher* priority, exactly the paper's rule:
+    smaller sequence number wins, ties broken by smaller site number.
+    """
+
+    seq: int
+    site: int
+
+    MAX_SENTINEL = (1 << 62, 1 << 62)
+
+    @classmethod
+    def maximum(cls) -> "Priority":
+        """The ``(max, max)`` sentinel used for a free lock."""
+        return cls(*cls.MAX_SENTINEL)
+
+    @property
+    def is_max(self) -> bool:
+        """True for the free-lock sentinel."""
+        return (self.seq, self.site) == self.MAX_SENTINEL
+
+    def __str__(self) -> str:
+        return "(max,max)" if self.is_max else f"({self.seq},{self.site})"

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: delay-optimal quorum-based mutex.
+
+:class:`~repro.core.site.CaoSinghalSite` implements the Section 3
+algorithm (synchronization delay ``T``, message complexity ``c*K`` with
+``3 <= c <= 6``); :class:`~repro.core.faults.FaultTolerantSite` adds the
+Section 6 failure-handling protocol on top.
+"""
+
+from repro.core.messages import (
+    Fail,
+    FailureNotice,
+    Inquire,
+    Release,
+    Reply,
+    Request,
+    Transfer,
+    Yield,
+)
+from repro.core.site import CaoSinghalSite
+from repro.core.state import ArbiterState, RequesterState, RequestQueue, TranStack
+
+__all__ = [
+    "ArbiterState",
+    "CaoSinghalSite",
+    "Fail",
+    "FailureNotice",
+    "Inquire",
+    "Release",
+    "Reply",
+    "Request",
+    "RequestQueue",
+    "RequesterState",
+    "TranStack",
+    "Transfer",
+    "Yield",
+]

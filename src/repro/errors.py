@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate on the finer-grained classes below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid combination of parameters was supplied to a constructor.
+
+    Examples: a quorum construction asked for an unsupported number of
+    sites, an algorithm handed a coterie with no quorum for some site, or a
+    workload configured with a negative arrival rate.
+    """
+
+
+class CoterieError(ReproError):
+    """A set of quorums violates the coterie definition of Section 2.
+
+    Raised by :class:`repro.quorums.coterie.Coterie` validation when the
+    non-emptiness, minimality, or intersection property does not hold.
+    """
+
+
+class ProtocolError(ReproError):
+    """An algorithm reached a state its specification forbids.
+
+    The simulator never swallows these: a protocol error during a run is a
+    bug either in the implementation or in the paper reconstruction, and the
+    test suite treats it as a failure.
+    """
+
+
+class MutualExclusionViolation(ProtocolError):
+    """Two sites were observed inside the critical section simultaneously.
+
+    Detected post-hoc by :class:`repro.verify.invariants.MutexChecker` from
+    the recorded (enter, exit) intervals, or online by the shared-resource
+    guard installed in the workload driver.
+    """
+
+
+class DeadlockError(ProtocolError):
+    """The simulation ran out of events while CS requests were pending.
+
+    In a correct run the event queue only drains when every issued request
+    has been served; pending requests with no events in flight mean the
+    protocol deadlocked (Theorem 2 says this must never happen).
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine itself was misused.
+
+    Examples: scheduling an event in the past, delivering a message to an
+    unknown node, or running a simulator that was already exhausted.
+    """

@@ -1,0 +1,57 @@
+"""Experiment harness: one module per table/figure (see DESIGN.md index).
+
+========  =============================================================
+E1        Table 1 — algorithm comparison (messages, sync delay)
+E2        Section 5.1 — light-load cost ``3(K-1)``, response ``2T+E``
+E3        Section 5.2 — heavy-load cost in ``[5(K-1), 6(K-1)]``
+E4        Sync delay ``T`` vs ``2T`` across system sizes
+E5        Throughput doubled / waiting halved at heavy load
+E6        Quorum size scaling by construction
+E7        Fault tolerance: availability curves + recovery liveness
+E8        Load sweep (figure-style trade-off curves)
+E9        Ablations: transfer mechanism, piggybacking
+E10       Arbitration load balance across constructions
+E11       Service continuity under crash/recovery churn
+E12       Arbiter queue dynamics across the load range
+========  =============================================================
+"""
+
+from repro.experiments.ablation import run_ablation
+from repro.experiments.churn import run_churn
+from repro.experiments.delay import run_delay
+from repro.experiments.fault_tolerance import run_availability, run_recovery
+from repro.experiments.heavy_load import run_heavy_load
+from repro.experiments.light_load import run_light_load
+from repro.experiments.load_balance import run_load_balance
+from repro.experiments.load_sweep import run_load_sweep
+from repro.experiments.queueing import run_queueing
+from repro.experiments.quorum_scaling import run_quorum_scaling
+from repro.experiments.replicate import Replication, replicate, sync_delay_ci
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import RunConfig, RunResult, quick_run, run_mutex
+from repro.experiments.table1 import run_table1
+from repro.experiments.throughput import run_throughput
+
+__all__ = [
+    "ExperimentReport",
+    "RunConfig",
+    "RunResult",
+    "Replication",
+    "quick_run",
+    "replicate",
+    "run_ablation",
+    "run_availability",
+    "run_churn",
+    "run_delay",
+    "run_heavy_load",
+    "run_light_load",
+    "run_load_balance",
+    "run_load_sweep",
+    "run_mutex",
+    "run_queueing",
+    "run_quorum_scaling",
+    "run_recovery",
+    "run_table1",
+    "run_throughput",
+    "sync_delay_ci",
+]

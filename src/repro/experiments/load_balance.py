@@ -1,0 +1,78 @@
+"""Experiment E10 — arbitration load balance across quorum constructions.
+
+Maekawa's original design goal was *equal work*: with FPP/grid quorums
+every site arbitrates for equally many peers. The fault-tolerant
+constructions of Section 6 give that up — every tree quorum contains the
+root, every wheel quorum the hub — concentrating message load. This
+experiment measures the per-site message load (messages addressed to each
+site over a saturated run of the proposed algorithm) and reports the
+hotspot factor ``max_load / mean_load`` per construction.
+
+Not a table in the paper, but the quantitative footing for its Section 6
+remark that tree quorums have "log N in the best case" at the price of
+structural asymmetry — and a practical consideration for anyone choosing
+a construction.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import RunConfig, run_mutex
+from repro.sim.network import ConstantDelay
+from repro.workload.driver import SaturationWorkload
+
+DEFAULT_CONSTRUCTIONS = ("grid", "tree", "hierarchical", "majority", "wheel")
+
+
+def run_load_balance(
+    n_sites: int = 21,
+    constructions: Sequence[str] = DEFAULT_CONSTRUCTIONS,
+    seed: int = 12,
+    requests_per_site: int = 10,
+) -> ExperimentReport:
+    """Per-site message-load distribution by quorum construction."""
+    report = ExperimentReport(
+        experiment_id="E10",
+        title=f"Arbitration load balance, N={n_sites}, heavy load "
+        "(per-site messages received)",
+        headers=[
+            "construction",
+            "K",
+            "mean load",
+            "max load",
+            "hotspot (max/mean)",
+            "hottest site",
+        ],
+    )
+    for construction in constructions:
+        result = run_mutex(
+            RunConfig(
+                algorithm="cao-singhal",
+                n_sites=n_sites,
+                quorum=construction,
+                seed=seed,
+                delay_model=ConstantDelay(1.0),
+                cs_duration=0.1,
+                workload=SaturationWorkload(requests_per_site),
+            )
+        )
+        loads = result.sim.network.stats.by_destination
+        per_site = [loads.get(s, 0) for s in range(n_sites)]
+        mean = sum(per_site) / n_sites
+        peak = max(per_site)
+        report.add_row(
+            construction,
+            result.summary.mean_quorum_size,
+            mean,
+            peak,
+            peak / mean if mean else float("nan"),
+            per_site.index(peak),
+        )
+    report.add_note(
+        "Grid quorums spread arbitration nearly evenly (hotspot ~1); the "
+        "tree funnels every failure-free quorum through the root (site 0) "
+        "and the wheel through its hub — cheap quorums, concentrated load."
+    )
+    return report

@@ -1,0 +1,65 @@
+"""Experiment E8 — load sweep (figure-style).
+
+The paper's introduction frames mutual exclusion as a message-complexity /
+synchronization-delay trade-off that bites as load grows. This sweep walks
+the offered load from idle to saturation and reports, for the proposed
+algorithm and the two ends of the baseline spectrum (Maekawa = cheap
+messages / slow handoff, Ricart–Agrawala = expensive messages / fast
+handoff), how messages per CS and response time evolve. The crossover the
+paper motivates: the proposed algorithm keeps Maekawa-level message cost
+while matching RA's handoff latency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import RunConfig, run_mutex
+from repro.sim.network import ConstantDelay
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.driver import OpenLoopWorkload
+
+DEFAULT_RATES = (0.001, 0.005, 0.02, 0.05, 0.1)
+ALGORITHMS = ("cao-singhal", "maekawa", "ricart-agrawala")
+
+
+def run_load_sweep(
+    n_sites: int = 16,
+    rates: Sequence[float] = DEFAULT_RATES,
+    seed: int = 7,
+    horizon: float = 1500.0,
+) -> ExperimentReport:
+    """Messages/CS and response time vs offered load."""
+    report = ExperimentReport(
+        experiment_id="E8",
+        title=f"Load sweep, N={n_sites}, Poisson rate per site "
+        "(msgs/CS | response time in T)",
+        headers=["rate"]
+        + [f"{a} msgs" for a in ALGORITHMS]
+        + [f"{a} resp(T)" for a in ALGORITHMS],
+    )
+    for rate in rates:
+        msgs = []
+        resp = []
+        for algorithm in ALGORITHMS:
+            summary = run_mutex(
+                RunConfig(
+                    algorithm=algorithm,
+                    n_sites=n_sites,
+                    quorum="grid" if algorithm in ("cao-singhal", "maekawa") else None,
+                    seed=seed,
+                    delay_model=ConstantDelay(1.0),
+                    cs_duration=0.1,
+                    workload=OpenLoopWorkload(PoissonArrivals(rate), horizon),
+                    max_time=horizon * 50,
+                )
+            ).summary
+            msgs.append(summary.messages_per_cs)
+            resp.append(summary.response_time_in_t)
+        report.add_row(rate, *msgs, *resp)
+    report.add_note(
+        "Expected shape: proposed tracks Maekawa on messages (O(K)) and "
+        "Ricart-Agrawala on response time (T handoffs) as load grows."
+    )
+    return report

@@ -1,0 +1,86 @@
+"""Experiment E12 — arbiter queue dynamics across the load range.
+
+The paper's heavy-load analysis implicitly assumes arbiters carry queues
+of waiting requests; this experiment measures them: mean and peak arbiter
+queue length and the fraction of time arbiters sit non-empty, as offered
+load sweeps from idle to saturation. The knee where queues take off marks
+the light/heavy boundary the paper's two analyses (5.1 vs 5.2) divide at
+— and shows it lands at the same place for the proposed algorithm and
+Maekawa (queueing is a property of the load, not of the handoff
+mechanism; the handoff decides how fast the queues *drain*).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import RunConfig, build_run
+from repro.metrics.instruments import ArbiterSampler
+from repro.sim.network import ConstantDelay
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.driver import OpenLoopWorkload, SaturationWorkload
+
+DEFAULT_RATES = (0.005, 0.02, 0.05, None)  # None = saturation
+
+
+def run_queueing(
+    n_sites: int = 16,
+    rates: Sequence = DEFAULT_RATES,
+    seed: int = 15,
+    horizon: float = 800.0,
+) -> ExperimentReport:
+    """Arbiter queue statistics vs offered load."""
+    report = ExperimentReport(
+        experiment_id="E12",
+        title=f"Arbiter queue dynamics, N={n_sites}, grid quorums "
+        "(cao-singhal | maekawa)",
+        headers=[
+            "load (req/site/T)",
+            "cs mean queue",
+            "mk mean queue",
+            "cs peak",
+            "mk peak",
+            "cs busy frac",
+            "mk busy frac",
+        ],
+    )
+    for rate in rates:
+        row = ["saturation" if rate is None else rate]
+        means, peaks, busy = [], [], []
+        for algorithm in ("cao-singhal", "maekawa"):
+            workload = (
+                SaturationWorkload(12)
+                if rate is None
+                else OpenLoopWorkload(PoissonArrivals(rate), horizon)
+            )
+            config = RunConfig(
+                algorithm=algorithm,
+                n_sites=n_sites,
+                quorum="grid",
+                seed=seed,
+                delay_model=ConstantDelay(1.0),
+                cs_duration=0.2,
+                workload=workload,
+            )
+            sim, sites, collector, _, _ = build_run(config)
+            sampler = ArbiterSampler(
+                sim, sites, period=1.0, lifetime=horizon
+            )
+            sim.start()
+            sim.run(until=1_000_000.0)
+            means.append(sampler.system_mean_queue())
+            peaks.append(sampler.system_peak_queue())
+            fracs = [
+                sampler.stats_for(s.site_id).busy_fraction for s in sites
+            ]
+            busy.append(sum(fracs) / len(fracs))
+        report.add_row(row[0], means[0], means[1], peaks[0], peaks[1],
+                       busy[0], busy[1])
+    report.add_note(
+        "Queues stay near zero through the light-load regime and take off "
+        "toward saturation — the boundary between the paper's Section 5.1 "
+        "and 5.2 analyses. Maekawa's slower drains show as equal-or-longer "
+        "queues at equal load."
+    )
+    return report

@@ -1,0 +1,61 @@
+"""Shared result container for the experiment harness.
+
+Every experiment returns an :class:`ExperimentReport`: a titled table plus
+free-form notes recording how the measurement relates to the paper's
+claim. Benchmarks print reports; EXPERIMENTS.md archives them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.metrics.tables import render_csv, render_table
+
+
+@dataclass
+class ExperimentReport:
+    """One table/figure reproduction result."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        """Append one table row."""
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Append a free-form observation."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Full text report: table plus notes."""
+        out = render_table(
+            self.headers, self.rows, title=f"[{self.experiment_id}] {self.title}"
+        )
+        if self.notes:
+            out += "\n" + "\n".join(f"  * {n}" for n in self.notes) + "\n"
+        return out
+
+    def to_csv(self) -> str:
+        """Rows as CSV (headers included)."""
+        return render_csv(self.headers, self.rows)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (for machine pipelines)."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize the report as JSON."""
+        import json
+
+        return json.dumps(self.to_dict(), indent=indent, default=str)

@@ -1,0 +1,159 @@
+"""One-stop simulation runner used by experiments, benchmarks, and the CLI.
+
+:func:`run_mutex` wires together a simulator, one site per process for the
+chosen algorithm, a workload, the metrics collector, and the verification
+layer, then returns a :class:`~repro.metrics.summary.RunSummary`. Every
+run is verified: mutual exclusion over the recorded intervals, progress
+(no deadlock/starvation), and per-site sequentiality. A run that violates
+the paper's theorems raises instead of returning numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.site import CaoSinghalSite
+from repro.errors import ConfigurationError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import RunSummary, summarize
+from repro.mutex.base import DurationSpec, MutexSite
+from repro.mutex.registry import get_algorithm_spec
+from repro.quorums.registry import make_quorum_system
+from repro.sim.network import ConstantDelay, DelayModel, UniformDelay
+from repro.sim.simulator import Simulator
+from repro.verify.checker import check_quiescent
+from repro.verify.invariants import (
+    check_mutual_exclusion,
+    check_progress,
+    check_sequential_per_site,
+)
+from repro.workload.driver import SaturationWorkload, Workload
+
+
+@dataclass
+class RunConfig:
+    """Declarative description of one simulation run."""
+
+    algorithm: str = "cao-singhal"
+    n_sites: int = 9
+    quorum: Optional[str] = None  # defaulted per-algorithm
+    seed: int = 0
+    delay_model: Optional[DelayModel] = None  # default UniformDelay(0.5, 1.5)
+    cs_duration: DurationSpec = 0.05
+    workload: Optional[Workload] = None  # default SaturationWorkload(20)
+    #: Hard safety caps so a protocol bug cannot hang the harness.
+    max_time: float = 1_000_000.0
+    max_events: int = 20_000_000
+    trace: bool = False
+    verify: bool = True
+
+    def resolved_quorum(self) -> Optional[str]:
+        """The quorum construction to use, or ``None`` for non-quorum
+        algorithms."""
+        spec = get_algorithm_spec(self.algorithm)
+        if not spec.needs_quorum:
+            if self.quorum is not None:
+                raise ConfigurationError(
+                    f"algorithm {self.algorithm!r} does not take a quorum"
+                )
+            return None
+        return self.quorum or "grid"
+
+
+@dataclass
+class RunResult:
+    """Summary plus the raw artifacts a test may want to poke at."""
+
+    summary: RunSummary
+    sim: Simulator
+    sites: List[MutexSite] = field(default_factory=list)
+    collector: Optional[MetricsCollector] = None
+
+
+def build_run(config: RunConfig):
+    """Construct (simulator, sites, collector, workload size) for a config."""
+    spec = get_algorithm_spec(config.algorithm)
+    quorum_name = config.resolved_quorum()
+    quorum_system = (
+        make_quorum_system(quorum_name, config.n_sites) if quorum_name else None
+    )
+    if quorum_system is not None:
+        quorum_system.validate()
+
+    sim = Simulator(
+        seed=config.seed,
+        delay_model=config.delay_model or UniformDelay(0.5, 1.5),
+        trace=config.trace,
+    )
+    collector = MetricsCollector()
+    sites = [
+        spec.factory(i, config.n_sites, quorum_system, config.cs_duration, collector)
+        for i in range(config.n_sites)
+    ]
+    for site in sites:
+        sim.add_node(site)
+    workload = config.workload or SaturationWorkload(20)
+    submitted = workload.install(sim, sites)
+    return sim, sites, collector, quorum_system, submitted
+
+
+def run_mutex(config: RunConfig) -> RunResult:
+    """Run one configured simulation to completion and verify it."""
+    sim, sites, collector, quorum_system, _ = build_run(config)
+    sim.start()
+    sim.run(until=config.max_time, max_events=config.max_events)
+
+    duration = sim.now
+    if config.verify:
+        check_mutual_exclusion(collector.records)
+        check_sequential_per_site(collector.records)
+        if sim.pending_events() == 0:
+            # The run drained: everything submitted must have been served.
+            check_progress(collector.records, context=config.algorithm)
+            cs_sites = [s for s in sites if isinstance(s, CaoSinghalSite)]
+            if cs_sites:
+                check_quiescent(cs_sites)
+        else:
+            raise ConfigurationError(
+                f"run hit its safety cap (time={sim.now:.1f}, "
+                f"events={sim.events_processed}); raise max_time/max_events "
+                "or shrink the workload"
+            )
+
+    quorum_name = config.resolved_quorum()
+    summary = summarize(
+        algorithm=config.algorithm,
+        n_sites=config.n_sites,
+        records=collector.records,
+        messages_sent=sim.network.stats.messages_sent,
+        messages_by_type=sim.network.stats.by_type,
+        duration=duration,
+        mean_delay_t=sim.network.mean_delay,
+        seed=config.seed,
+        quorum_name=quorum_name,
+        mean_quorum_size=(
+            quorum_system.mean_quorum_size() if quorum_system else None
+        ),
+    )
+    return RunResult(summary=summary, sim=sim, sites=sites, collector=collector)
+
+
+def quick_run(
+    algorithm: str = "cao-singhal",
+    n_sites: int = 9,
+    seed: int = 0,
+    requests_per_site: int = 20,
+    quorum: Optional[str] = None,
+    delay: Optional[DelayModel] = None,
+) -> RunSummary:
+    """Convenience wrapper: heavy-load run, return just the summary."""
+    config = RunConfig(
+        algorithm=algorithm,
+        n_sites=n_sites,
+        quorum=quorum,
+        seed=seed,
+        delay_model=delay or ConstantDelay(1.0),
+        workload=SaturationWorkload(requests_per_site),
+    )
+    return run_mutex(config).summary

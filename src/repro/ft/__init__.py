@@ -1,0 +1,6 @@
+"""Fault tolerance: failure detection and the Section 6 recovery protocol."""
+
+from repro.ft.detector import Heartbeat, HeartbeatMonitor
+from repro.ft.recovery import ChurnPlan, CrashPlan, MonitoredSite
+
+__all__ = ["ChurnPlan", "CrashPlan", "Heartbeat", "HeartbeatMonitor", "MonitoredSite"]

@@ -1,0 +1,131 @@
+"""Heartbeat-based failure detection.
+
+The paper assumes "a site finds out that a site has failed" without
+prescribing how. This module provides the standard mechanism: every
+monitored site emits periodic heartbeats to its peers; a peer that sees no
+heartbeat for ``timeout`` time units suspects the silent site and invokes a
+callback (which, in :class:`repro.ft.recovery.MonitoredSite`, broadcasts
+the paper's ``failure(i)`` notice).
+
+In a fail-stop model with bounded message delay, ``timeout`` >
+``interval + max_delay`` makes the detector *eventually perfect*: no false
+suspicions after the bound holds, and every crash is detected within
+``timeout``. The experiments also use a zero-cost oracle injector (see
+:mod:`repro.ft.recovery`) when detector traffic would pollute message
+counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.sim.node import Node, SiteId
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness beacon."""
+
+    type_name = "heartbeat"
+
+
+class HeartbeatMonitor:
+    """Failure detector component owned by one site.
+
+    Parameters
+    ----------
+    node:
+        The owning simulated site (used for timers, clock, and sends).
+    peers:
+        The sites to exchange heartbeats with.
+    interval:
+        Emission period.
+    timeout:
+        Silence threshold after which a peer is suspected.
+    lifetime:
+        Simulated time at which the monitor stops scheduling itself, so
+        finite experiments can drain their event queues.
+    on_suspect:
+        Callback invoked exactly once per suspected site.
+    """
+
+    def __init__(
+        self,
+        node: Node,
+        peers: Iterable[SiteId],
+        interval: float,
+        timeout: float,
+        lifetime: float,
+        on_suspect: Callable[[SiteId], None],
+    ) -> None:
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval}")
+        if timeout <= interval:
+            raise ConfigurationError(
+                f"timeout ({timeout}) must exceed interval ({interval})"
+            )
+        self.node = node
+        self.peers = sorted(set(peers) - {node.site_id})
+        self.interval = interval
+        self.timeout = timeout
+        self.lifetime = lifetime
+        self.on_suspect = on_suspect
+        self.last_seen: Dict[SiteId, float] = {}
+        self.suspected: Set[SiteId] = set()
+        self._started = False
+
+    def start(self) -> None:
+        """Begin emitting and checking. Call from ``Node.on_start``."""
+        if self._started:
+            return
+        self._started = True
+        now = self.node.now
+        for peer in self.peers:
+            self.last_seen[peer] = now
+        self._emit()
+        self.node.set_timer(self.timeout, self._check, label="hb-check")
+
+    def observe(self, src: SiteId) -> Optional[SiteId]:
+        """Record evidence of life (call for *any* message, not just
+        heartbeats — protocol traffic proves liveness too).
+
+        Returns ``src`` when the message *refutes* a standing suspicion —
+        the site was presumed dead (crashed, or cut off by a partition)
+        and is demonstrably back. The owner then runs its recovery path
+        (``on_suspect``'s dual). This is what makes the detector heal
+        after network partitions: suspicions raised while the link was
+        down are withdrawn by the first message through the healed link.
+        """
+        if src in self.last_seen:
+            self.last_seen[src] = self.node.now
+        if src in self.suspected:
+            self.suspected.discard(src)
+            return src
+        return None
+
+    # -- internals -------------------------------------------------------------
+
+    def _emit(self) -> None:
+        if self.node.now > self.lifetime:
+            return
+        for peer in self.peers:
+            # Suspected peers are beaconed too: if the silence was a
+            # partition rather than a crash, these are the messages that
+            # refute the suspicion once the link heals. (To a genuinely
+            # crashed peer they are dropped by the network for free.)
+            self.node.send(peer, Heartbeat())
+        self.node.set_timer(self.interval, self._emit, label="hb-emit")
+
+    def _check(self) -> None:
+        if self.node.now > self.lifetime:
+            return
+        now = self.node.now
+        for peer in self.peers:
+            if peer in self.suspected:
+                continue
+            if now - self.last_seen[peer] > self.timeout:
+                self.suspected.add(peer)
+                self.on_suspect(peer)
+        self.node.set_timer(self.interval, self._check, label="hb-check")

@@ -1,0 +1,29 @@
+"""Measurement layer: lifecycle records, summaries, and table rendering."""
+
+from repro.metrics.collector import CSRecord, MetricsCollector
+from repro.metrics.instruments import ArbiterSampler, QueueSample, QueueStats
+from repro.metrics.summary import (
+    RunSummary,
+    Stats,
+    jain_fairness,
+    summarize,
+    sync_delays,
+)
+from repro.metrics.tables import render_csv, render_table
+from repro.metrics.timeline import render_timeline
+
+__all__ = [
+    "ArbiterSampler",
+    "CSRecord",
+    "MetricsCollector",
+    "QueueSample",
+    "QueueStats",
+    "RunSummary",
+    "Stats",
+    "jain_fairness",
+    "render_csv",
+    "render_table",
+    "render_timeline",
+    "summarize",
+    "sync_delays",
+]

@@ -1,0 +1,99 @@
+"""Collection of per-request lifecycle timings.
+
+The collector implements :class:`~repro.mutex.base.RunListener` and pairs
+each site's request → enter → exit transitions into immutable
+:class:`CSRecord` rows (a site runs one request at a time, so pairing is
+positional). Everything downstream — the synchronization-delay estimator,
+the mutual-exclusion checker, the throughput numbers — reads these rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ProtocolError
+from repro.mutex.base import RunListener
+from repro.sim.node import SiteId
+
+
+@dataclass
+class CSRecord:
+    """One critical-section execution, from request to exit."""
+
+    site: SiteId
+    request_time: float
+    enter_time: Optional[float] = None
+    exit_time: Optional[float] = None
+
+    @property
+    def complete(self) -> bool:
+        """True once the request has been fully served."""
+        return self.enter_time is not None and self.exit_time is not None
+
+    @property
+    def waiting_time(self) -> float:
+        """Request-to-entry latency."""
+        assert self.enter_time is not None
+        return self.enter_time - self.request_time
+
+    @property
+    def response_time(self) -> float:
+        """Request-to-exit latency (the paper's response time, ``2T + E``
+        at light load)."""
+        assert self.exit_time is not None
+        return self.exit_time - self.request_time
+
+
+class MetricsCollector(RunListener):
+    """Accumulates :class:`CSRecord` rows during a simulation run."""
+
+    def __init__(self) -> None:
+        self.records: List[CSRecord] = []
+        self._open: Dict[SiteId, CSRecord] = {}
+
+    # -- RunListener interface ------------------------------------------------
+
+    def on_request(self, site: SiteId, time: float) -> None:
+        if site in self._open:
+            raise ProtocolError(
+                f"site {site} started a request while one is outstanding"
+            )
+        record = CSRecord(site=site, request_time=time)
+        self._open[site] = record
+        self.records.append(record)
+
+    def on_enter(self, site: SiteId, time: float) -> None:
+        record = self._open.get(site)
+        if record is None or record.enter_time is not None:
+            raise ProtocolError(f"site {site} entered the CS without requesting")
+        record.enter_time = time
+
+    def on_exit(self, site: SiteId, time: float) -> None:
+        record = self._open.pop(site, None)
+        if record is None or record.enter_time is None:
+            raise ProtocolError(f"site {site} exited the CS it never entered")
+        record.exit_time = time
+
+    def on_abandon(self, site: SiteId, time: float) -> None:
+        """Close the site's open record without completion (crash)."""
+        self._open.pop(site, None)
+
+    # -- accessors --------------------------------------------------------------
+
+    @property
+    def completed(self) -> List[CSRecord]:
+        """All fully served requests, in request order."""
+        return [r for r in self.records if r.complete]
+
+    @property
+    def unserved(self) -> List[CSRecord]:
+        """Requests still waiting when the run ended."""
+        return [r for r in self.records if not r.complete]
+
+    def per_site_counts(self) -> Dict[SiteId, int]:
+        """Completed executions per site (fairness input)."""
+        counts: Dict[SiteId, int] = {}
+        for record in self.completed:
+            counts[record.site] = counts.get(record.site, 0) + 1
+        return counts

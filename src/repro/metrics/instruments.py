@@ -1,0 +1,106 @@
+"""In-simulation instruments: periodic samplers of protocol state.
+
+The metrics collector records *lifecycle events*; some questions need
+*state over time* instead — how long arbiter queues get, how many sites
+wait at once. :class:`ArbiterSampler` polls every arbiter's queue length
+and lock occupancy on a fixed period (via an ordinary simulation timer,
+so the sampling is part of the deterministic run) and summarizes the
+distribution afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.site import CaoSinghalSite
+from repro.errors import ConfigurationError
+from repro.sim.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class QueueSample:
+    """One sampling instant."""
+
+    time: float
+    #: queue length per arbiter site id
+    queue_lengths: Dict[int, int]
+    #: arbiters whose permission was held at the instant
+    locked: int
+
+
+@dataclass
+class QueueStats:
+    """Distribution summary of an arbiter's sampled queue lengths."""
+
+    site: int
+    mean: float
+    peak: int
+    busy_fraction: float  # fraction of samples with a non-empty queue
+
+
+class ArbiterSampler:
+    """Samples every arbiter's queue on a fixed period.
+
+    Attach before ``sim.start()``; sampling stops at ``lifetime`` so the
+    event queue can drain. The overhead is one event per period.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sites: Sequence[CaoSinghalSite],
+        period: float = 1.0,
+        lifetime: float = 10_000.0,
+    ) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        self.sim = sim
+        self.sites = list(sites)
+        self.period = period
+        self.lifetime = lifetime
+        self.samples: List[QueueSample] = []
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        self.sim.schedule(self.period, self._sample, label="arbiter-sampler")
+
+    def _sample(self) -> None:
+        lengths = {s.site_id: len(s.arbiter.req_queue) for s in self.sites}
+        locked = sum(1 for s in self.sites if not s.arbiter.is_free)
+        self.samples.append(
+            QueueSample(time=self.sim.now, queue_lengths=lengths, locked=locked)
+        )
+        if self.sim.now + self.period <= self.lifetime:
+            self._schedule_next()
+
+    # -- summaries ----------------------------------------------------------
+
+    def stats_for(self, site: int) -> QueueStats:
+        """Queue-length distribution of one arbiter."""
+        values = [s.queue_lengths.get(site, 0) for s in self.samples]
+        if not values:
+            return QueueStats(site=site, mean=float("nan"), peak=0, busy_fraction=float("nan"))
+        return QueueStats(
+            site=site,
+            mean=sum(values) / len(values),
+            peak=max(values),
+            busy_fraction=sum(1 for v in values if v > 0) / len(values),
+        )
+
+    def system_mean_queue(self) -> float:
+        """Mean queue length across all arbiters and samples."""
+        total = 0
+        count = 0
+        for sample in self.samples:
+            total += sum(sample.queue_lengths.values())
+            count += len(sample.queue_lengths)
+        return total / count if count else float("nan")
+
+    def system_peak_queue(self) -> int:
+        """Largest queue observed anywhere."""
+        peak = 0
+        for sample in self.samples:
+            if sample.queue_lengths:
+                peak = max(peak, max(sample.queue_lengths.values()))
+        return peak

@@ -1,0 +1,181 @@
+"""Derived performance statistics (the paper's Section 5 quantities).
+
+The two headline metrics:
+
+* **message complexity** — network messages per CS execution, with
+  piggybacked bundles counted once (Section 5's costing rule);
+* **synchronization delay** — the gap between one site's CS exit and the
+  next site's CS entry, *measured only over contended handoffs* (the next
+  entrant was already waiting when the previous site exited). The paper
+  notes the light-load value is meaningless, which is exactly why the
+  uncontended gaps are excluded; at heavy load every handoff is contended
+  and the estimator converges to the paper's quantity.
+
+All delays are normalized by the network's mean one-way latency ``T`` so
+results read directly against the paper's ``T`` / ``2T`` statements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.collector import CSRecord
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Mean/percentile summary of a sample."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Stats":
+        """Summarize ``values`` (empty samples produce NaN statistics)."""
+        if not values:
+            nan = float("nan")
+            return cls(0, nan, nan, nan, nan, nan)
+        ordered = sorted(values)
+
+        def pct(q: float) -> float:
+            idx = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+            return ordered[idx]
+
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=pct(0.50),
+            p95=pct(0.95),
+        )
+
+
+def sync_delays(records: Sequence[CSRecord]) -> List[float]:
+    """Contended exit-to-next-entry gaps, in simulation time units.
+
+    CS executions are ordered by entry time; a gap is counted when the
+    successor had already issued its request before the predecessor
+    exited (i.e. it was genuinely waiting on the handoff).
+    """
+    done = sorted((r for r in records if r.complete), key=lambda r: r.enter_time)
+    gaps: List[float] = []
+    for prev, nxt in zip(done, done[1:]):
+        assert prev.exit_time is not None and nxt.enter_time is not None
+        if nxt.request_time <= prev.exit_time:
+            gaps.append(nxt.enter_time - prev.exit_time)
+    return gaps
+
+
+def jain_fairness(counts: Dict[int, int], n_sites: int) -> float:
+    """Jain's fairness index over per-site completion counts (1 = fair)."""
+    values = [counts.get(site, 0) for site in range(n_sites)]
+    total = sum(values)
+    if total == 0:
+        return float("nan")
+    square_sum = sum(v * v for v in values)
+    return (total * total) / (n_sites * square_sum)
+
+
+@dataclass
+class RunSummary:
+    """Everything one simulation run reports."""
+
+    algorithm: str
+    n_sites: int
+    quorum_name: Optional[str]
+    mean_quorum_size: Optional[float]
+    seed: int
+    duration: float
+    mean_delay_t: float
+    completed: int
+    unserved: int
+    messages_sent: int
+    messages_by_type: Dict[str, int] = field(default_factory=dict)
+    messages_per_cs: float = float("nan")
+    sync_delay: Stats = field(default_factory=lambda: Stats.of([]))
+    sync_delay_in_t: float = float("nan")
+    waiting_time: Stats = field(default_factory=lambda: Stats.of([]))
+    response_time: Stats = field(default_factory=lambda: Stats.of([]))
+    response_time_in_t: float = float("nan")
+    throughput: float = float("nan")
+    fairness: float = float("nan")
+
+    def describe(self) -> str:
+        """Human-readable multi-line report."""
+        lines = [
+            f"algorithm        : {self.algorithm}",
+            f"sites            : {self.n_sites}"
+            + (f"   quorum={self.quorum_name} (K={self.mean_quorum_size:.2f})"
+               if self.quorum_name else ""),
+            f"completed        : {self.completed} (unserved {self.unserved})",
+            f"messages/CS      : {self.messages_per_cs:.2f}",
+            f"sync delay       : {self.sync_delay_in_t:.3f} T "
+            f"(n={self.sync_delay.count})",
+            f"response time    : {self.response_time_in_t:.3f} T",
+            f"throughput       : {self.throughput:.4f} CS/time-unit",
+            f"fairness (Jain)  : {self.fairness:.3f}",
+        ]
+        return "\n".join(lines)
+
+
+def summarize(
+    algorithm: str,
+    n_sites: int,
+    records: Sequence[CSRecord],
+    messages_sent: int,
+    messages_by_type: Dict[str, int],
+    duration: float,
+    mean_delay_t: float,
+    seed: int,
+    quorum_name: Optional[str] = None,
+    mean_quorum_size: Optional[float] = None,
+    warmup_fraction: float = 0.1,
+) -> RunSummary:
+    """Fold raw records and counters into a :class:`RunSummary`.
+
+    The first ``warmup_fraction`` of the run (by time) is excluded from the
+    delay statistics so ramp-up transients do not bias steady-state
+    numbers; message counters cannot be windowed per-period, so
+    ``messages_per_cs`` uses the whole run.
+    """
+    done = [r for r in records if r.complete]
+    cutoff = duration * warmup_fraction
+    steady = [r for r in done if r.request_time >= cutoff]
+
+    gaps = sync_delays(steady)
+    waits = [r.waiting_time for r in steady]
+    responses = [r.response_time for r in steady]
+    counts: Dict[int, int] = {}
+    for r in done:
+        counts[r.site] = counts.get(r.site, 0) + 1
+
+    gap_stats = Stats.of(gaps)
+    resp_stats = Stats.of(responses)
+    return RunSummary(
+        algorithm=algorithm,
+        n_sites=n_sites,
+        quorum_name=quorum_name,
+        mean_quorum_size=mean_quorum_size,
+        seed=seed,
+        duration=duration,
+        mean_delay_t=mean_delay_t,
+        completed=len(done),
+        unserved=len(records) - len(done),
+        messages_sent=messages_sent,
+        messages_by_type=dict(messages_by_type),
+        messages_per_cs=(messages_sent / len(done)) if done else float("nan"),
+        sync_delay=gap_stats,
+        sync_delay_in_t=gap_stats.mean / mean_delay_t,
+        waiting_time=Stats.of(waits),
+        response_time=resp_stats,
+        response_time_in_t=resp_stats.mean / mean_delay_t,
+        throughput=len(done) / duration if duration > 0 else float("nan"),
+        fairness=jain_fairness(counts, n_sites),
+    )

@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints paper-style rows; this module keeps the
+formatting in one place (fixed-width columns, NaN-safe number formatting,
+optional CSV output) so every experiment report looks the same.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable, List, Optional, Sequence
+
+
+def fmt(value: object, precision: int = 2) -> str:
+    """Format one cell: floats get fixed precision, NaN prints as '-'."""
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    precision: int = 2,
+) -> str:
+    """Render an aligned fixed-width text table."""
+    str_rows: List[List[str]] = [
+        [fmt(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    out.write(header_line + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for row in str_rows:
+        out.write("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)) + "\n")
+    return out.getvalue()
+
+
+def render_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV (for piping experiment output into plotting)."""
+    out = io.StringIO()
+    out.write(",".join(headers) + "\n")
+    for row in rows:
+        out.write(",".join(fmt(cell, 6) for cell in row) + "\n")
+    return out.getvalue()

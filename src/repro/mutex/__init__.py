@@ -1,0 +1,47 @@
+"""Mutual-exclusion algorithms: the paper's baselines plus shared machinery.
+
+The proposed algorithm itself lives in :mod:`repro.core`; this package
+holds the shared site lifecycle (:class:`~repro.mutex.base.MutexSite`), the
+message primitives (including the piggybacking :class:`Bundle` and the
+Lamport :class:`Priority`), and an independent implementation of every
+algorithm in the paper's Table 1 comparison.
+"""
+
+from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
+from repro.mutex.centralized import CentralizedSite
+from repro.mutex.lamport import LamportSite
+from repro.mutex.maekawa import MaekawaSite
+from repro.mutex.messages import Bundle, Priority, bundle_or_single
+from repro.mutex.raymond import RaymondSite
+from repro.mutex.registry import (
+    AlgorithmSpec,
+    algorithm_names,
+    get_algorithm_spec,
+    make_site,
+)
+from repro.mutex.ricart_agrawala import RicartAgrawalaSite
+from repro.mutex.roucairol_carvalho import RoucairolCarvalhoSite
+from repro.mutex.singhal_heuristic import SinghalHeuristicSite
+from repro.mutex.suzuki_kasami import SuzukiKasamiSite
+
+__all__ = [
+    "AlgorithmSpec",
+    "Bundle",
+    "CentralizedSite",
+    "DurationSpec",
+    "LamportSite",
+    "MaekawaSite",
+    "MutexSite",
+    "Priority",
+    "RaymondSite",
+    "RicartAgrawalaSite",
+    "RoucairolCarvalhoSite",
+    "RunListener",
+    "SinghalHeuristicSite",
+    "SiteState",
+    "SuzukiKasamiSite",
+    "algorithm_names",
+    "bundle_or_single",
+    "get_algorithm_spec",
+    "make_site",
+]

@@ -1,0 +1,149 @@
+"""Common lifecycle for every mutual-exclusion algorithm.
+
+The paper's model has a site execute its CS requests "sequentially one by
+one": requests submitted while a request is outstanding queue locally.
+:class:`MutexSite` owns that local queue and the
+idle → requesting → in-CS → idle state machine, and reports transitions to
+a :class:`RunListener` (the metrics layer). Algorithm subclasses implement
+just two hooks — start the protocol, run the exit protocol — plus their
+message handlers, so they read like the paper's pseudo-code.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, Union
+
+from repro.errors import ProtocolError
+from repro.sim.node import Node, SiteId
+
+#: CS hold time: a constant, a zero-argument sampler, or ``None`` for a
+#: manual hold (the application calls :meth:`MutexSite.release_cs` itself,
+#: e.g. after finishing a guarded multi-message operation).
+DurationSpec = Optional[Union[float, Callable[[], float]]]
+
+
+class RunListener:
+    """Observer for CS lifecycle events; the metrics layer implements this.
+
+    The default implementation ignores everything so algorithms are usable
+    without a metrics pipeline (e.g. in unit tests).
+    """
+
+    def on_request(self, site: SiteId, time: float) -> None:
+        """A site started working on a CS request (protocol messages go out)."""
+
+    def on_enter(self, site: SiteId, time: float) -> None:
+        """A site entered the critical section."""
+
+    def on_exit(self, site: SiteId, time: float) -> None:
+        """A site exited the critical section."""
+
+    def on_abandon(self, site: SiteId, time: float) -> None:
+        """A site abandoned its in-flight request (it crashed)."""
+
+
+class SiteState(enum.Enum):
+    """The coarse request lifecycle of a site."""
+
+    IDLE = "idle"
+    REQUESTING = "requesting"
+    IN_CS = "in_cs"
+
+
+class MutexSite(Node):
+    """Base class for mutual-exclusion sites.
+
+    Subclass contract:
+
+    * ``_begin_request()`` — the site has a fresh CS request; send whatever
+      the protocol sends. Call :meth:`_enter_cs` once all permissions are
+      held (it is safe to call it synchronously from ``_begin_request`` if
+      no permission is needed, e.g. a token already held).
+    * ``_exit_protocol()`` — the site has just left the CS; send releases /
+      pass tokens. The base class flips state and schedules the next local
+      request *after* this returns.
+    * ``on_message(src, message)`` — protocol message handlers.
+    """
+
+    def __init__(
+        self,
+        site_id: SiteId,
+        cs_duration: DurationSpec = 0.1,
+        listener: Optional[RunListener] = None,
+    ) -> None:
+        super().__init__(site_id)
+        self._cs_duration = cs_duration
+        self.listener = listener or RunListener()
+        self.state = SiteState.IDLE
+        #: CS requests submitted but not yet started (local FIFO backlog).
+        self.backlog = 0
+        #: Completed CS executions.
+        self.completed = 0
+
+    # -- public API used by workload drivers ------------------------------------
+
+    def submit_request(self) -> None:
+        """Enqueue one CS request; starts immediately if the site is idle."""
+        self.backlog += 1
+        self._maybe_start()
+
+    @property
+    def has_work(self) -> bool:
+        """True while a request is queued, in flight, or executing."""
+        return self.backlog > 0 or self.state is not SiteState.IDLE
+
+    # -- lifecycle internals ---------------------------------------------------
+
+    def _maybe_start(self) -> None:
+        if self.state is not SiteState.IDLE or self.backlog == 0 or self.crashed:
+            return
+        self.backlog -= 1
+        self.state = SiteState.REQUESTING
+        self.listener.on_request(self.site_id, self.now)
+        self.sim.trace.record(self.now, "request", self.site_id)
+        self._begin_request()
+
+    def _enter_cs(self) -> None:
+        """Called by the subclass when every needed permission is held."""
+        if self.state is not SiteState.REQUESTING:
+            raise ProtocolError(
+                f"site {self.site_id} entered CS from state {self.state}"
+            )
+        self.state = SiteState.IN_CS
+        self.listener.on_enter(self.site_id, self.now)
+        self.sim.trace.record(self.now, "cs_enter", self.site_id)
+        if self._cs_duration is None:
+            return  # manual hold: the application calls release_cs()
+        duration = (
+            self._cs_duration() if callable(self._cs_duration) else self._cs_duration
+        )
+        self.set_timer(duration, self._leave_cs, label="cs-hold")
+
+    def release_cs(self) -> None:
+        """Manually leave the CS (only valid with ``cs_duration=None``)."""
+        if self.state is not SiteState.IN_CS:
+            raise ProtocolError(
+                f"site {self.site_id} released the CS from state {self.state}"
+            )
+        self._leave_cs()
+
+    def _leave_cs(self) -> None:
+        if self.state is not SiteState.IN_CS:
+            raise ProtocolError(
+                f"site {self.site_id} left CS from state {self.state}"
+            )
+        self.sim.trace.record(self.now, "cs_exit", self.site_id)
+        self.listener.on_exit(self.site_id, self.now)
+        self.completed += 1
+        self._exit_protocol()
+        self.state = SiteState.IDLE
+        self._maybe_start()
+
+    # -- subclass hooks ----------------------------------------------------------
+
+    def _begin_request(self) -> None:
+        raise NotImplementedError
+
+    def _exit_protocol(self) -> None:
+        raise NotImplementedError

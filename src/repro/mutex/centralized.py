@@ -1,0 +1,108 @@
+"""Centralized coordinator baseline.
+
+The textbook reference point: one coordinator serializes the CS with a
+FIFO grant queue. Three messages per CS execution (request, grant,
+release) and synchronization delay ``2T`` (release to the coordinator,
+grant to the next site) — the same relay pattern Maekawa generalizes and
+the paper's direct-forwarding idea removes. Not in the paper's Table 1,
+but a useful calibration point for the simulator's delay measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ProtocolError
+from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
+from repro.sim.node import SiteId
+
+
+@dataclass(frozen=True)
+class CRequest:
+    """Ask the coordinator for the lock."""
+
+    type_name = "request"
+
+
+@dataclass(frozen=True)
+class CGrant:
+    """Coordinator's grant."""
+
+    type_name = "reply"
+
+
+@dataclass(frozen=True)
+class CRelease:
+    """Return the lock to the coordinator."""
+
+    type_name = "release"
+
+
+class CentralizedSite(MutexSite):
+    """One site of the centralized scheme; site ``coordinator`` arbitrates."""
+
+    algorithm_name = "centralized"
+
+    def __init__(
+        self,
+        site_id: SiteId,
+        n: int,
+        cs_duration: DurationSpec = 0.1,
+        listener: Optional[RunListener] = None,
+        coordinator: SiteId = 0,
+    ) -> None:
+        super().__init__(site_id, cs_duration, listener)
+        self.n = n
+        self.coordinator = coordinator
+        # coordinator-role state
+        self.locked_by: Optional[SiteId] = None
+        self.wait_queue: List[SiteId] = []
+
+    @property
+    def is_coordinator(self) -> bool:
+        """True on the arbitrating site."""
+        return self.site_id == self.coordinator
+
+    # -- MutexSite hooks -----------------------------------------------------
+
+    def _begin_request(self) -> None:
+        self.send(self.coordinator, CRequest())
+
+    def _exit_protocol(self) -> None:
+        self.send(self.coordinator, CRelease())
+
+    # -- message handlers ------------------------------------------------------
+
+    def on_message(self, src: SiteId, message: object) -> None:
+        if isinstance(message, CRequest):
+            self._coord_request(src)
+        elif isinstance(message, CRelease):
+            self._coord_release(src)
+        elif isinstance(message, CGrant):
+            if self.state is SiteState.REQUESTING:
+                self._enter_cs()
+        else:
+            raise TypeError(f"unexpected message {message!r}")
+
+    def _coord_request(self, src: SiteId) -> None:
+        if not self.is_coordinator:
+            raise ProtocolError(f"site {self.site_id} is not the coordinator")
+        if self.locked_by is None:
+            self.locked_by = src
+            self.send(src, CGrant())
+        else:
+            self.wait_queue.append(src)
+
+    def _coord_release(self, src: SiteId) -> None:
+        if not self.is_coordinator:
+            raise ProtocolError(f"site {self.site_id} is not the coordinator")
+        if self.locked_by != src:
+            raise ProtocolError(
+                f"coordinator: release from {src} but lock held by {self.locked_by}"
+            )
+        if self.wait_queue:
+            self.locked_by = self.wait_queue.pop(0)
+            self.send(self.locked_by, CGrant())
+        else:
+            self.locked_by = None

@@ -1,0 +1,126 @@
+"""Lamport's mutual exclusion algorithm (1978), reference [6] of the paper.
+
+Every site broadcasts its timestamped request; every site keeps a replica
+of the global request queue; a site enters the CS when its own request
+heads its local queue *and* it has heard something later-stamped from every
+other site. Releases are broadcast.
+
+Costs (paper Table 1): ``3(N-1)`` messages per CS execution — ``N-1``
+requests, ``N-1`` replies, ``N-1`` releases — and synchronization delay
+``T`` (the release flies directly from the exiting site to the next
+entrant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.state import RequestQueue
+from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
+from repro.common import Priority
+from repro.sim.node import SiteId
+
+
+@dataclass(frozen=True)
+class LamportRequest:
+    """Broadcast CS request."""
+
+    priority: Priority
+
+    type_name = "request"
+
+
+@dataclass(frozen=True)
+class LamportReply:
+    """Timestamped acknowledgement of a request."""
+
+    seq: int
+
+    type_name = "reply"
+
+
+@dataclass(frozen=True)
+class LamportRelease:
+    """Broadcast CS release; removes the sender's request everywhere."""
+
+    priority: Priority
+
+    type_name = "release"
+
+
+class LamportSite(MutexSite):
+    """One site of Lamport's algorithm over ``n`` fully connected sites."""
+
+    algorithm_name = "lamport"
+
+    def __init__(
+        self,
+        site_id: SiteId,
+        n: int,
+        cs_duration: DurationSpec = 0.1,
+        listener: Optional[RunListener] = None,
+    ) -> None:
+        super().__init__(site_id, cs_duration, listener)
+        self.n = n
+        self.clock = 0
+        self.queue = RequestQueue()
+        self.my_request: Optional[Priority] = None
+        #: Highest sequence number heard from each other site.
+        self.last_heard: Dict[SiteId, int] = {j: 0 for j in range(n) if j != site_id}
+
+    # -- helpers -------------------------------------------------------------
+
+    def _tick(self, seen: int = 0) -> int:
+        """Advance the Lamport clock past ``seen`` and return the new value."""
+        self.clock = max(self.clock, seen) + 1
+        return self.clock
+
+    def _others(self):
+        return (j for j in range(self.n) if j != self.site_id)
+
+    def _try_enter(self) -> None:
+        """Lamport's entry rule (L1 and L2)."""
+        if self.state is not SiteState.REQUESTING or self.my_request is None:
+            return
+        if self.queue.head() != self.my_request:
+            return
+        if all(seq > self.my_request.seq for seq in self.last_heard.values()):
+            self._enter_cs()
+
+    # -- MutexSite hooks -----------------------------------------------------
+
+    def _begin_request(self) -> None:
+        self.my_request = Priority(self._tick(), self.site_id)
+        self.queue.push(self.my_request)
+        for j in self._others():
+            self.send(j, LamportRequest(self.my_request))
+        self._try_enter()  # trivially enters when n == 1
+
+    def _exit_protocol(self) -> None:
+        assert self.my_request is not None
+        self.queue.remove(self.my_request)
+        release = LamportRelease(self.my_request)
+        self.my_request = None
+        self._tick()
+        for j in self._others():
+            self.send(j, release)
+
+    # -- message handlers -----------------------------------------------------
+
+    def on_message(self, src: SiteId, message: object) -> None:
+        if isinstance(message, LamportRequest):
+            self._tick(message.priority.seq)
+            self.queue.push(message.priority)
+            self.last_heard[src] = max(self.last_heard[src], message.priority.seq)
+            self.send(src, LamportReply(seq=self._tick()))
+        elif isinstance(message, LamportReply):
+            self._tick(message.seq)
+            self.last_heard[src] = max(self.last_heard[src], message.seq)
+        elif isinstance(message, LamportRelease):
+            self._tick(message.priority.seq)
+            self.queue.remove(message.priority)
+            self.last_heard[src] = max(self.last_heard[src], message.priority.seq)
+        else:
+            raise TypeError(f"unexpected message {message!r}")
+        self._try_enter()

@@ -1,0 +1,18 @@
+"""Shared message primitives for all mutual-exclusion algorithms.
+
+Every protocol message is a small frozen dataclass with a ``type_name``
+class attribute; the network layer uses it for per-type counting. The
+:class:`Bundle` implements the paper's piggybacking rule (Section 5): a
+bundle travels as *one* network message (one header) and is unpacked into
+its parts, in order, at the receiver.
+
+The concrete types live in :mod:`repro.common` (a leaf module, so the
+core and baseline packages can share them without import cycles); this
+module is their public home.
+"""
+
+from __future__ import annotations
+
+from repro.common import Bundle, Priority, bundle_or_single
+
+__all__ = ["Bundle", "Priority", "bundle_or_single"]

@@ -1,0 +1,134 @@
+"""Raymond's tree-based token algorithm (1989), reference [12].
+
+Sites form a logical tree; each site points toward the token along the
+``holder`` edge and keeps a FIFO queue of neighbours (or itself) wanting
+the token. Requests and the token travel hop by hop, giving ``O(log N)``
+messages per CS execution at the price of an ``O(log N)`` synchronization
+delay — the paper's Table 1 contrasts exactly this trade-off (and notes
+the token-loss fragility of the family).
+
+The tree is the heap layout over ``0..n-1``; site 0 initially holds the
+token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ProtocolError
+from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
+from repro.sim.node import SiteId
+
+
+@dataclass(frozen=True)
+class RaymondRequest:
+    """Hop-by-hop token request from a neighbour."""
+
+    type_name = "request"
+
+
+@dataclass(frozen=True)
+class RaymondToken:
+    """The token, passed along a tree edge."""
+
+    type_name = "token"
+
+
+class RaymondSite(MutexSite):
+    """One site of Raymond's algorithm on the heap-shaped tree."""
+
+    algorithm_name = "raymond"
+
+    def __init__(
+        self,
+        site_id: SiteId,
+        n: int,
+        cs_duration: DurationSpec = 0.1,
+        listener: Optional[RunListener] = None,
+    ) -> None:
+        super().__init__(site_id, cs_duration, listener)
+        self.n = n
+        #: Tree edge toward the token; ``self`` means we hold it.
+        self.holder: SiteId = self._initial_holder()
+        #: FIFO of neighbours (or self) waiting for the token.
+        self.request_q: List[SiteId] = []
+        #: True once we asked our holder for the token (one ask at a time).
+        self.asked = False
+
+    def _initial_holder(self) -> SiteId:
+        """Point every site toward site 0 along the tree."""
+        return self.site_id if self.site_id == 0 else (self.site_id - 1) // 2
+
+    def neighbors(self) -> List[SiteId]:
+        """Tree neighbours in the heap layout (parent plus children)."""
+        out = []
+        if self.site_id != 0:
+            out.append((self.site_id - 1) // 2)
+        for child in (2 * self.site_id + 1, 2 * self.site_id + 2):
+            if child < self.n:
+                out.append(child)
+        return out
+
+    # -- queue machinery -------------------------------------------------------
+
+    def _assign_token(self, exiting: bool = False) -> None:
+        """Pass the token toward the queue head (or enter the CS ourselves).
+
+        ``exiting`` is set by the CS-exit path, where the base class has
+        not flipped the state back to idle yet but the CS is over.
+        """
+        if self.holder != self.site_id:
+            return
+        if self.state is SiteState.IN_CS and not exiting:
+            return
+        if not self.request_q:
+            return
+        nxt = self.request_q.pop(0)
+        if nxt == self.site_id:
+            if self.state is SiteState.REQUESTING:
+                self._enter_cs()
+            return
+        self.holder = nxt
+        self.asked = False
+        self.send(nxt, RaymondToken())
+        if self.request_q:
+            self._ask()
+
+    def _ask(self) -> None:
+        """Send one request along the holder edge if we have not already."""
+        if self.holder != self.site_id and not self.asked and self.request_q:
+            self.asked = True
+            self.send(self.holder, RaymondRequest())
+
+    # -- MutexSite hooks -------------------------------------------------------
+
+    def _begin_request(self) -> None:
+        self.request_q.append(self.site_id)
+        if self.holder == self.site_id:
+            self._assign_token()
+        else:
+            self._ask()
+
+    def _exit_protocol(self) -> None:
+        self._assign_token(exiting=True)
+
+    # -- message handlers -----------------------------------------------------
+
+    def on_message(self, src: SiteId, message: object) -> None:
+        if isinstance(message, RaymondRequest):
+            if src not in self.neighbors():
+                raise ProtocolError(
+                    f"site {self.site_id} got a request from non-neighbour {src}"
+                )
+            self.request_q.append(src)
+            if self.holder == self.site_id:
+                self._assign_token()
+            else:
+                self._ask()
+        elif isinstance(message, RaymondToken):
+            self.holder = self.site_id
+            self.asked = False
+            self._assign_token()
+        else:
+            raise TypeError(f"unexpected message {message!r}")

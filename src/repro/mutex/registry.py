@@ -1,0 +1,185 @@
+"""Name-based registry of mutual-exclusion algorithms.
+
+Factories hide the constructor differences between the families: quorum
+algorithms take a ``req_set``, broadcast/token algorithms take ``n``. The
+experiment harness and CLI build sites exclusively through
+:func:`make_site`, so adding an algorithm means one entry here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.mutex.base import DurationSpec, MutexSite, RunListener
+from repro.mutex.centralized import CentralizedSite
+from repro.mutex.lamport import LamportSite
+from repro.mutex.maekawa import MaekawaSite
+from repro.mutex.raymond import RaymondSite
+from repro.mutex.ricart_agrawala import RicartAgrawalaSite
+from repro.mutex.roucairol_carvalho import RoucairolCarvalhoSite
+from repro.mutex.singhal_heuristic import SinghalHeuristicSite
+from repro.mutex.suzuki_kasami import SuzukiKasamiSite
+from repro.quorums.coterie import QuorumSystem
+
+#: Factory signature: (site_id, n, quorum_system, cs_duration, listener).
+SiteFactory = Callable[
+    [int, int, Optional[QuorumSystem], DurationSpec, Optional[RunListener]],
+    MutexSite,
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Registry entry for one algorithm."""
+
+    name: str
+    needs_quorum: bool
+    factory: SiteFactory
+    description: str
+
+
+def _quorum_of(qs: Optional[QuorumSystem], site_id: int, name: str):
+    if qs is None:
+        raise ConfigurationError(f"algorithm {name!r} requires a quorum system")
+    return qs.quorum_for(site_id)
+
+
+def _make_cao_singhal(i, n, qs, d, l, enable_transfer=True):
+    # Imported lazily: repro.core.site itself imports repro.mutex.base,
+    # which triggers this package's __init__ — an eager import here would
+    # close that cycle while repro.core.site is still half-initialized.
+    from repro.core.site import CaoSinghalSite
+
+    return CaoSinghalSite(
+        i,
+        _quorum_of(qs, i, "cao-singhal"),
+        d,
+        l,
+        enable_transfer=enable_transfer,
+    )
+
+
+_SPECS: Dict[str, AlgorithmSpec] = {}
+
+
+def _register(spec: AlgorithmSpec) -> None:
+    if spec.name in _SPECS:
+        raise ConfigurationError(f"algorithm {spec.name!r} already registered")
+    _SPECS[spec.name] = spec
+
+
+_register(
+    AlgorithmSpec(
+        name="cao-singhal",
+        needs_quorum=True,
+        factory=_make_cao_singhal,
+        description="Proposed delay-optimal quorum algorithm (sync delay T)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        name="cao-singhal-no-transfer",
+        needs_quorum=True,
+        factory=lambda i, n, qs, d, l: _make_cao_singhal(
+            i, n, qs, d, l, enable_transfer=False
+        ),
+        description="Ablation: direct forwarding disabled (sync delay 2T)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        name="maekawa",
+        needs_quorum=True,
+        factory=lambda i, n, qs, d, l: MaekawaSite(
+            i, _quorum_of(qs, i, "maekawa"), d, l
+        ),
+        description="Maekawa's quorum algorithm (sync delay 2T)",
+    )
+)
+_register(
+    AlgorithmSpec(
+        name="lamport",
+        needs_quorum=False,
+        factory=lambda i, n, qs, d, l: LamportSite(i, n, d, l),
+        description="Lamport's timestamp algorithm, 3(N-1) messages",
+    )
+)
+_register(
+    AlgorithmSpec(
+        name="ricart-agrawala",
+        needs_quorum=False,
+        factory=lambda i, n, qs, d, l: RicartAgrawalaSite(i, n, d, l),
+        description="Ricart-Agrawala, 2(N-1) messages",
+    )
+)
+_register(
+    AlgorithmSpec(
+        name="roucairol-carvalho",
+        needs_quorum=False,
+        factory=lambda i, n, qs, d, l: RoucairolCarvalhoSite(i, n, d, l),
+        description="Carvalho-Roucairol dynamic algorithm, N-1..2(N-1) messages",
+    )
+)
+_register(
+    AlgorithmSpec(
+        name="suzuki-kasami",
+        needs_quorum=False,
+        factory=lambda i, n, qs, d, l: SuzukiKasamiSite(i, n, d, l),
+        description="Suzuki-Kasami broadcast token, 0..N messages",
+    )
+)
+_register(
+    AlgorithmSpec(
+        name="singhal-heuristic",
+        needs_quorum=False,
+        factory=lambda i, n, qs, d, l: SinghalHeuristicSite(i, n, d, l),
+        description="Singhal's heuristic token algorithm, 0..N messages",
+    )
+)
+_register(
+    AlgorithmSpec(
+        name="raymond",
+        needs_quorum=False,
+        factory=lambda i, n, qs, d, l: RaymondSite(i, n, d, l),
+        description="Raymond's tree token, O(log N) messages and delay",
+    )
+)
+_register(
+    AlgorithmSpec(
+        name="centralized",
+        needs_quorum=False,
+        factory=lambda i, n, qs, d, l: CentralizedSite(i, n, d, l),
+        description="Central coordinator, 3 messages, sync delay 2T",
+    )
+)
+
+
+def algorithm_names() -> List[str]:
+    """Registered algorithm names, sorted."""
+    return sorted(_SPECS)
+
+
+def get_algorithm_spec(name: str) -> AlgorithmSpec:
+    """Look up an algorithm's registry entry."""
+    try:
+        return _SPECS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown algorithm {name!r}; known: {', '.join(algorithm_names())}"
+        ) from None
+
+
+def make_site(
+    name: str,
+    site_id: int,
+    n: int,
+    quorum_system: Optional[QuorumSystem] = None,
+    cs_duration: DurationSpec = 0.1,
+    listener: Optional[RunListener] = None,
+) -> MutexSite:
+    """Build one site of algorithm ``name``."""
+    return get_algorithm_spec(name).factory(
+        site_id, n, quorum_system, cs_duration, listener
+    )

@@ -1,0 +1,106 @@
+"""Ricart–Agrawala mutual exclusion (1981), reference [13] of the paper.
+
+Lamport's algorithm with releases merged into replies: a site defers its
+reply to any lower-priority concurrent request and flushes the deferred
+replies when it exits the CS. Costs (paper Table 1): ``2(N-1)`` messages
+per CS execution and synchronization delay ``T``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
+from repro.common import Priority
+from repro.sim.node import SiteId
+
+
+@dataclass(frozen=True)
+class RARequest:
+    """Broadcast CS request."""
+
+    priority: Priority
+
+    type_name = "request"
+
+
+@dataclass(frozen=True)
+class RAReply:
+    """Permission for the receiver's request ``grantee``."""
+
+    grantee: Priority
+
+    type_name = "reply"
+
+
+class RicartAgrawalaSite(MutexSite):
+    """One site of the Ricart–Agrawala algorithm."""
+
+    algorithm_name = "ricart-agrawala"
+
+    def __init__(
+        self,
+        site_id: SiteId,
+        n: int,
+        cs_duration: DurationSpec = 0.1,
+        listener: Optional[RunListener] = None,
+    ) -> None:
+        super().__init__(site_id, cs_duration, listener)
+        self.n = n
+        self.clock = 0
+        self.my_request: Optional[Priority] = None
+        self.replies_needed = 0
+        #: Requests whose reply is deferred until our CS exit.
+        self.deferred: List[Priority] = []
+
+    def _others(self):
+        return (j for j in range(self.n) if j != self.site_id)
+
+    # -- MutexSite hooks ------------------------------------------------------
+
+    def _begin_request(self) -> None:
+        self.clock += 1
+        self.my_request = Priority(self.clock, self.site_id)
+        self.replies_needed = self.n - 1
+        for j in self._others():
+            self.send(j, RARequest(self.my_request))
+        if self.replies_needed == 0:
+            self._enter_cs()
+
+    def _exit_protocol(self) -> None:
+        self.my_request = None
+        deferred, self.deferred = self.deferred, []
+        for priority in deferred:
+            self.send(priority.site, RAReply(grantee=priority))
+
+    # -- message handlers -------------------------------------------------------
+
+    def on_message(self, src: SiteId, message: object) -> None:
+        if isinstance(message, RARequest):
+            self.clock = max(self.clock, message.priority.seq)
+            self._handle_request(message.priority)
+        elif isinstance(message, RAReply):
+            self._handle_reply(message)
+        else:
+            raise TypeError(f"unexpected message {message!r}")
+
+    def _handle_request(self, incoming: Priority) -> None:
+        """Reply immediately unless our own pending business outranks it."""
+        using_cs = self.state is SiteState.IN_CS
+        mine_wins = (
+            self.state is SiteState.REQUESTING
+            and self.my_request is not None
+            and self.my_request < incoming
+        )
+        if using_cs or mine_wins:
+            self.deferred.append(incoming)
+        else:
+            self.send(incoming.site, RAReply(grantee=incoming))
+
+    def _handle_reply(self, msg: RAReply) -> None:
+        if self.my_request is None or msg.grantee != self.my_request:
+            return  # reply for an already-finished request
+        self.replies_needed -= 1
+        if self.replies_needed == 0 and self.state is SiteState.REQUESTING:
+            self._enter_cs()

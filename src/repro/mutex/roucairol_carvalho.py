@@ -1,0 +1,122 @@
+"""Carvalho–Roucairol optimization of Ricart–Agrawala (1983).
+
+This is the "dynamic" algorithm the paper cites as [16]: a site keeps the
+permission of site ``j`` across CS executions until it grants ``j`` a
+reply, so repeated executions by the same site cost 0 messages at light
+load and the average drops to between ``N-1`` and ``2(N-1)`` messages.
+Synchronization delay stays ``T``.
+
+Protocol notes: a site sends requests only to sites whose standing
+permission it lacks. If, while requesting, it receives a higher-priority
+request from ``j``, it replies (losing ``j``'s permission) and re-sends its
+own request to ``j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
+from repro.common import Priority
+from repro.sim.node import SiteId
+
+
+@dataclass(frozen=True)
+class RCRequest:
+    """CS request, sent only to sites whose permission is not held."""
+
+    priority: Priority
+
+    type_name = "request"
+
+
+@dataclass(frozen=True)
+class RCReply:
+    """Permission grant; the receiver keeps it until it replies back."""
+
+    grantee: Priority
+
+    type_name = "reply"
+
+
+class RoucairolCarvalhoSite(MutexSite):
+    """One site of the Carvalho–Roucairol dynamic algorithm."""
+
+    algorithm_name = "roucairol-carvalho"
+
+    def __init__(
+        self,
+        site_id: SiteId,
+        n: int,
+        cs_duration: DurationSpec = 0.1,
+        listener: Optional[RunListener] = None,
+    ) -> None:
+        super().__init__(site_id, cs_duration, listener)
+        self.n = n
+        self.clock = 0
+        self.my_request: Optional[Priority] = None
+        #: Standing permissions: permission[j] is True while we may enter
+        #: the CS without consulting j again.
+        self.permission: Dict[SiteId, bool] = {
+            j: False for j in range(n) if j != site_id
+        }
+        self.deferred: List[Priority] = []
+
+    # -- MutexSite hooks ----------------------------------------------------
+
+    def _begin_request(self) -> None:
+        self.clock += 1
+        self.my_request = Priority(self.clock, self.site_id)
+        missing = [j for j, held in self.permission.items() if not held]
+        for j in missing:
+            self.send(j, RCRequest(self.my_request))
+        self._try_enter()
+
+    def _exit_protocol(self) -> None:
+        self.my_request = None
+        deferred, self.deferred = self.deferred, []
+        for priority in deferred:
+            # Granting a reply surrenders the standing permission.
+            self.permission[priority.site] = False
+            self.send(priority.site, RCReply(grantee=priority))
+
+    def _try_enter(self) -> None:
+        if self.state is SiteState.REQUESTING and all(self.permission.values()):
+            self._enter_cs()
+
+    # -- message handlers ------------------------------------------------------
+
+    def on_message(self, src: SiteId, message: object) -> None:
+        if isinstance(message, RCRequest):
+            self.clock = max(self.clock, message.priority.seq)
+            self._handle_request(src, message.priority)
+        elif isinstance(message, RCReply):
+            self._handle_reply(src, message)
+        else:
+            raise TypeError(f"unexpected message {message!r}")
+
+    def _handle_request(self, src: SiteId, incoming: Priority) -> None:
+        if self.state is SiteState.IN_CS:
+            self.deferred.append(incoming)
+            return
+        if (
+            self.state is SiteState.REQUESTING
+            and self.my_request is not None
+            and self.my_request < incoming
+        ):
+            # Our pending request outranks the incoming one; hold the reply.
+            self.deferred.append(incoming)
+            return
+        self.permission[src] = False
+        self.send(src, RCReply(grantee=incoming))
+        if self.state is SiteState.REQUESTING and self.my_request is not None:
+            # We surrendered src's permission while still requesting:
+            # must re-request it (Carvalho–Roucairol rule).
+            self.send(src, RCRequest(self.my_request))
+
+    def _handle_reply(self, src: SiteId, msg: RCReply) -> None:
+        if self.my_request is None or msg.grantee != self.my_request:
+            return  # stale grant for a finished request
+        self.permission[src] = True
+        self._try_enter()

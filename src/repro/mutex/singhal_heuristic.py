@@ -1,0 +1,236 @@
+"""Singhal's heuristically-aided token algorithm (1989), reference [14].
+
+The Table 1 entry between full broadcast (Suzuki–Kasami, ``N`` messages)
+and tree routing (Raymond): each site maintains a *state vector* ``SV``
+guessing every other site's state (Requesting / Not requesting /
+Executing / Holding an idle token) plus sequence numbers ``SN``; a
+requester sends its request **only to the sites its heuristic marks as
+probable token holders** (those marked Requesting — one of them will get
+the token before us, or has it). Message cost therefore varies between 0
+and ``N``; the synchronization delay stays ``T`` because the token flies
+directly from the holder to the next user.
+
+The staircase initialization (site ``i`` marks all lower-numbered sites
+Requesting) makes the union of everyone's request sets cover the token's
+possible locations — the invariant behind the heuristic's correctness.
+
+Token bookkeeping on exit reconciles the holder's fresher knowledge with
+the token's (``TSV``/``TSN``), exactly as in Singhal's paper, and passes
+the token to the lowest-numbered requester after the holder (round-robin
+fairness; the algorithm trades Lamport-style priority fairness for
+message economy, like the other token algorithms).
+
+**Reproduction note.** The heuristic as published has a liveness gap that
+our stress harness reproduces: after enough token movement, two sites can
+simultaneously believe the other is Not-requesting (the paper's staircase
+invariant ``SV_i[j]=R or SV_j[i]=R`` is not preserved by the exit
+reconciliation), after which a new request can reach *no* site that knows
+where the idle token is, and the requester strands. This implementation
+(a) also sends requests to sites marked Executing — they verifiably had
+the token last, which already fixes most executions — and (b) adds a
+timeout backstop: a request unserved after ``retry_timeout`` is re-issued
+with a fresh sequence number as a broadcast, after which the normal token
+machinery serves it. The backstop only affects executions that the
+published algorithm would strand.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
+from repro.sim.node import SiteId
+
+
+class PeerState(enum.Enum):
+    """What a site believes about a peer (Singhal's SV entries)."""
+
+    REQUESTING = "R"
+    NOT_REQUESTING = "N"
+    EXECUTING = "E"
+    HOLDING = "H"
+
+
+@dataclass(frozen=True)
+class SHRequest:
+    """Heuristically-routed token request: ``(site, sequence number)``."""
+
+    site: SiteId
+    number: int
+
+    type_name = "request"
+
+
+@dataclass(frozen=True)
+class SHToken:
+    """The token: its own view of site states and served numbers."""
+
+    tsv: Tuple[str, ...]
+    tsn: Tuple[int, ...]
+
+    type_name = "token"
+
+
+class SinghalHeuristicSite(MutexSite):
+    """One site of Singhal's heuristic algorithm; site 0 holds the token."""
+
+    algorithm_name = "singhal-heuristic"
+
+    def __init__(
+        self,
+        site_id: SiteId,
+        n: int,
+        cs_duration: DurationSpec = 0.1,
+        listener: Optional[RunListener] = None,
+        retry_timeout: float = 150.0,
+    ) -> None:
+        super().__init__(site_id, cs_duration, listener)
+        self.n = n
+        #: Liveness backstop (see module docstring): broadcast the request
+        #: anew if unserved this long. Count of backstop firings is kept
+        #: so tests can assert the fast path stays heuristic.
+        self.retry_timeout = retry_timeout
+        self.retries = 0
+        self._retry_timer = None
+        # Staircase initialization: lower-numbered peers are assumed
+        # Requesting, higher-numbered Not-requesting; site 0 starts with
+        # the (idle) token.
+        self.sv: List[PeerState] = [
+            PeerState.REQUESTING if j < site_id else PeerState.NOT_REQUESTING
+            for j in range(n)
+        ]
+        self.sn: List[int] = [0] * n
+        self.has_token = site_id == 0
+        if self.has_token:
+            self.sv[site_id] = PeerState.HOLDING
+        self.token_tsv: List[PeerState] = (
+            [PeerState.NOT_REQUESTING] * n if self.has_token else []
+        )
+        self.token_tsn: List[int] = [0] * n if self.has_token else []
+
+    # -- MutexSite hooks -----------------------------------------------------
+
+    def _begin_request(self) -> None:
+        if self.has_token:
+            self.sv[self.site_id] = PeerState.EXECUTING
+            self._enter_cs()
+            return
+        self.sv[self.site_id] = PeerState.REQUESTING
+        self.sn[self.site_id] += 1
+        request = SHRequest(self.site_id, self.sn[self.site_id])
+        for j in range(self.n):
+            if j != self.site_id and self.sv[j] is not PeerState.NOT_REQUESTING:
+                # R: may get the token before us; H: has it idle;
+                # E: verifiably had it last (see module docstring).
+                self.send(j, request)
+        self._arm_retry()
+
+    def _arm_retry(self) -> None:
+        self._retry_timer = self.set_timer(
+            self.retry_timeout, self._retry_broadcast, label="sh-retry"
+        )
+
+    def _retry_broadcast(self) -> None:
+        """Liveness backstop: the heuristic stranded us — ask everyone."""
+        if self.has_token or self.state is not SiteState.REQUESTING:
+            return
+        self.retries += 1
+        self.sn[self.site_id] += 1
+        request = SHRequest(self.site_id, self.sn[self.site_id])
+        for j in range(self.n):
+            if j != self.site_id:
+                self.send(j, request)
+        self._arm_retry()
+
+    def _exit_protocol(self) -> None:
+        """Reconcile site and token knowledge, then route the token."""
+        self.sv[self.site_id] = PeerState.NOT_REQUESTING
+        self.token_tsv[self.site_id] = PeerState.NOT_REQUESTING
+        for j in range(self.n):
+            if j == self.site_id:
+                continue
+            if self.sn[j] > self.token_tsn[j]:
+                # Our knowledge of j is fresher than the token's.
+                self.token_tsv[j] = self.sv[j]
+                self.token_tsn[j] = self.sn[j]
+            else:
+                # The token travelled and knows better.
+                self.sv[j] = self.token_tsv[j]
+                self.sn[j] = self.token_tsn[j]
+        nxt = self._next_requester()
+        if nxt is None:
+            self.sv[self.site_id] = PeerState.HOLDING
+            self.has_token = True  # keep the idle token
+        else:
+            self._pass_token(nxt)
+
+    def _next_requester(self) -> Optional[SiteId]:
+        """Round-robin scan for the next site the token believes requests."""
+        for offset in range(1, self.n):
+            j = (self.site_id + offset) % self.n
+            if self.token_tsv[j] is PeerState.REQUESTING:
+                return j
+        return None
+
+    def _pass_token(self, dst: SiteId) -> None:
+        token = SHToken(
+            tsv=tuple(s.value for s in self.token_tsv),
+            tsn=tuple(self.token_tsn),
+        )
+        self.has_token = False
+        self.token_tsv = []
+        self.token_tsn = []
+        self.sv[dst] = PeerState.EXECUTING
+        self.send(dst, token)
+
+    # -- message handlers ------------------------------------------------------
+
+    def on_message(self, src: SiteId, message: object) -> None:
+        if isinstance(message, SHRequest):
+            self._handle_request(message)
+        elif isinstance(message, SHToken):
+            self._handle_token(message)
+        else:
+            raise TypeError(f"unexpected message {message!r}")
+
+    def _handle_request(self, msg: SHRequest) -> None:
+        if msg.number <= self.sn[msg.site]:
+            return  # outdated (duplicate or superseded) request
+        self.sn[msg.site] = msg.number
+        me = self.sv[self.site_id]
+        if me is PeerState.NOT_REQUESTING:
+            self.sv[msg.site] = PeerState.REQUESTING
+        elif me is PeerState.REQUESTING:
+            if self.sv[msg.site] is not PeerState.REQUESTING:
+                # We learned of a new contender we had not asked: ask it,
+                # it may receive the token before us (Singhal's rule).
+                self.sv[msg.site] = PeerState.REQUESTING
+                self.send(
+                    msg.site, SHRequest(self.site_id, self.sn[self.site_id])
+                )
+        elif me is PeerState.EXECUTING:
+            self.sv[msg.site] = PeerState.REQUESTING
+        elif me is PeerState.HOLDING:
+            # Idle token holder: hand the token over immediately.
+            self.sv[msg.site] = PeerState.REQUESTING
+            self.token_tsv[msg.site] = PeerState.REQUESTING
+            self.token_tsn[msg.site] = msg.number
+            self.sv[self.site_id] = PeerState.NOT_REQUESTING
+            self._pass_token(msg.site)
+
+    def _handle_token(self, msg: SHToken) -> None:
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
+        self.has_token = True
+        self.token_tsv = [PeerState(v) for v in msg.tsv]
+        self.token_tsn = list(msg.tsn)
+        if self.state is SiteState.REQUESTING:
+            self.sv[self.site_id] = PeerState.EXECUTING
+            self._enter_cs()
+        else:
+            # Token arrived while idle (possible after reconciliation):
+            # keep it as holder.
+            self.sv[self.site_id] = PeerState.HOLDING

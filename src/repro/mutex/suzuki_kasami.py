@@ -1,0 +1,121 @@
+"""Suzuki–Kasami broadcast token algorithm (1985).
+
+A single token carries the permission; a requester broadcasts a numbered
+request (``N-1`` messages) and the token travels directly to the next user
+(one more message). Message cost is 0 when the requester already holds the
+token and ``N`` otherwise; synchronization delay is ``T``. Included as the
+token-side representative in Table 1 (the family Singhal's heuristic
+algorithm belongs to).
+
+The token carries ``LN`` (the sequence number of each site's last served
+request) and a FIFO queue of sites with outstanding requests; each site
+tracks ``RN`` (the highest request number heard per site).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
+from repro.sim.node import SiteId
+
+
+@dataclass(frozen=True)
+class SKRequest:
+    """Broadcast request: ``(site, request number)``."""
+
+    site: SiteId
+    number: int
+
+    type_name = "request"
+
+
+@dataclass(frozen=True)
+class SKToken:
+    """The travelling token: last-served numbers plus the waiting queue."""
+
+    ln: Tuple[int, ...]
+    queue: Tuple[SiteId, ...]
+
+    type_name = "token"
+
+
+class SuzukiKasamiSite(MutexSite):
+    """One site of the Suzuki–Kasami algorithm; site 0 starts with the token."""
+
+    algorithm_name = "suzuki-kasami"
+
+    def __init__(
+        self,
+        site_id: SiteId,
+        n: int,
+        cs_duration: DurationSpec = 0.1,
+        listener: Optional[RunListener] = None,
+        token_holder: SiteId = 0,
+    ) -> None:
+        super().__init__(site_id, cs_duration, listener)
+        self.n = n
+        self.rn: List[int] = [0] * n
+        self.has_token = site_id == token_holder
+        self.token_ln: List[int] = [0] * n if self.has_token else []
+        self.token_queue: List[SiteId] = []
+
+    # -- MutexSite hooks ------------------------------------------------------
+
+    def _begin_request(self) -> None:
+        if self.has_token:
+            self._enter_cs()
+            return
+        self.rn[self.site_id] += 1
+        request = SKRequest(self.site_id, self.rn[self.site_id])
+        for j in range(self.n):
+            if j != self.site_id:
+                self.send(j, request)
+
+    def _exit_protocol(self) -> None:
+        """Update the token bookkeeping and pass it on if anyone waits."""
+        self.token_ln[self.site_id] = self.rn[self.site_id]
+        for j in range(self.n):
+            if (
+                j != self.site_id
+                and self.rn[j] == self.token_ln[j] + 1
+                and j not in self.token_queue
+            ):
+                self.token_queue.append(j)
+        if self.token_queue:
+            self._pass_token(self.token_queue.pop(0))
+
+    def _pass_token(self, dst: SiteId) -> None:
+        token = SKToken(ln=tuple(self.token_ln), queue=tuple(self.token_queue))
+        self.has_token = False
+        self.token_ln = []
+        self.token_queue = []
+        self.send(dst, token)
+
+    # -- message handlers ---------------------------------------------------
+
+    def on_message(self, src: SiteId, message: object) -> None:
+        if isinstance(message, SKRequest):
+            self._handle_request(message)
+        elif isinstance(message, SKToken):
+            self._handle_token(message)
+        else:
+            raise TypeError(f"unexpected message {message!r}")
+
+    def _handle_request(self, msg: SKRequest) -> None:
+        self.rn[msg.site] = max(self.rn[msg.site], msg.number)
+        # An idle token holder forwards the token straight away.
+        if (
+            self.has_token
+            and self.state is SiteState.IDLE
+            and self.rn[msg.site] == self.token_ln[msg.site] + 1
+        ):
+            self._pass_token(msg.site)
+
+    def _handle_token(self, msg: SKToken) -> None:
+        self.has_token = True
+        self.token_ln = list(msg.ln)
+        self.token_queue = list(msg.queue)
+        if self.state is SiteState.REQUESTING:
+            self._enter_cs()

@@ -1,0 +1,70 @@
+"""Coteries and quorum constructions (paper Sections 2, 5.3, and 6).
+
+The proposed algorithm is *quorum-agnostic*: it takes any
+:class:`~repro.quorums.coterie.QuorumSystem` whose per-site quorums satisfy
+pairwise intersection. This package provides the coterie framework plus all
+the constructions the paper discusses: Maekawa grids (``K ~ sqrt(N)``),
+Agrawal–El Abbadi trees (``K ~ log N``), hierarchical quorum consensus,
+majority voting, grid-set, Rangarajan–Setia–Tripathi, and two degenerate
+baselines (singleton, wheel), along with availability analysis used by the
+fault-tolerance experiments.
+"""
+
+from repro.quorums.availability import (
+    AvailabilityPoint,
+    availability_curve,
+    exact_availability,
+    monte_carlo_availability,
+    node_resilience,
+)
+from repro.quorums.coterie import Coterie, ExplicitQuorumSystem, Quorum, QuorumSystem
+from repro.quorums.fpp import FPPQuorumSystem
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.gridset import GridSetQuorumSystem
+from repro.quorums.hierarchical import HierarchicalQuorumSystem
+from repro.quorums.majority import MajorityQuorumSystem
+from repro.quorums.registry import (
+    make_quorum_system,
+    quorum_system_names,
+    register_quorum_system,
+)
+from repro.quorums.rst import RSTQuorumSystem
+from repro.quorums.singleton import SingletonQuorumSystem
+from repro.quorums.theory import (
+    compose,
+    coterie_degree_profile,
+    dominating_extension,
+    is_nondominated,
+    minimal_transversals,
+)
+from repro.quorums.tree import TreeQuorumSystem
+from repro.quorums.wheel import WheelQuorumSystem
+
+__all__ = [
+    "AvailabilityPoint",
+    "Coterie",
+    "ExplicitQuorumSystem",
+    "FPPQuorumSystem",
+    "GridQuorumSystem",
+    "GridSetQuorumSystem",
+    "HierarchicalQuorumSystem",
+    "MajorityQuorumSystem",
+    "Quorum",
+    "QuorumSystem",
+    "RSTQuorumSystem",
+    "SingletonQuorumSystem",
+    "TreeQuorumSystem",
+    "WheelQuorumSystem",
+    "availability_curve",
+    "compose",
+    "coterie_degree_profile",
+    "dominating_extension",
+    "exact_availability",
+    "is_nondominated",
+    "make_quorum_system",
+    "minimal_transversals",
+    "monte_carlo_availability",
+    "node_resilience",
+    "quorum_system_names",
+    "register_quorum_system",
+]

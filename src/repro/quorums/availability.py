@@ -1,0 +1,126 @@
+"""Availability analysis of quorum systems under iid site failures.
+
+Used by experiment E7 (Section 6): for each construction, the probability
+that *some* live quorum can still be formed when every site is
+independently up with probability ``p``.
+
+Two estimators are provided:
+
+* :func:`exact_availability` — exhaustive enumeration over all ``2^n``
+  failure patterns; exact, feasible for ``n <= ~18``.
+* :func:`monte_carlo_availability` — sampled estimate for larger systems,
+  with a deterministic seed.
+
+Both ask the *construction* (via :meth:`QuorumSystem.quorum_avoiding`)
+whether a quorum survives, so constructions with structural substitution
+rules (tree, HQC, grid-set, RST) are credited for their native recovery
+ability, exactly the comparison the paper's Section 6 makes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.quorums.coterie import QuorumSystem
+
+
+def _survives(system: QuorumSystem, failed: frozenset) -> bool:
+    """True when some live site can still assemble a quorum."""
+    for site in system.sites:
+        if site in failed:
+            continue
+        if system.quorum_avoiding(site, failed) is not None:
+            return True
+    return False
+
+
+def exact_availability(system: QuorumSystem, p: float) -> float:
+    """Exact availability by enumerating all failure patterns.
+
+    ``p`` is the per-site up-probability. Complexity ``O(2^n)`` patterns,
+    each requiring a quorum-search; keep ``n`` small.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    if system.n > 20:
+        raise ConfigurationError(
+            f"exact enumeration over n={system.n} sites is intractable; "
+            "use monte_carlo_availability"
+        )
+    total = 0.0
+    sites = list(system.sites)
+    for r in range(system.n + 1):
+        for downs in itertools.combinations(sites, r):
+            failed = frozenset(downs)
+            if _survives(system, failed):
+                total += (1 - p) ** r * p ** (system.n - r)
+    return total
+
+
+def monte_carlo_availability(
+    system: QuorumSystem,
+    p: float,
+    samples: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Sampled availability estimate with a deterministic seed."""
+    if not 0.0 <= p <= 1.0:
+        raise ConfigurationError(f"p must be in [0, 1], got {p}")
+    if samples < 1:
+        raise ConfigurationError(f"samples must be >= 1, got {samples}")
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(samples):
+        failed = frozenset(s for s in system.sites if rng.random() > p)
+        if _survives(system, failed):
+            hits += 1
+    return hits / samples
+
+
+@dataclass(frozen=True)
+class AvailabilityPoint:
+    """One (p, availability) sample of an availability curve."""
+
+    p: float
+    availability: float
+
+
+def availability_curve(
+    system: QuorumSystem,
+    ps: Sequence[float],
+    exact_threshold: int = 14,
+    samples: int = 2000,
+    seed: int = 0,
+) -> List[AvailabilityPoint]:
+    """Availability across a sweep of up-probabilities.
+
+    Uses the exact estimator when the system is small enough, Monte Carlo
+    otherwise.
+    """
+    estimator: Callable[[QuorumSystem, float], float]
+    if system.n <= exact_threshold:
+        estimator = exact_availability
+    else:
+        estimator = lambda s, p: monte_carlo_availability(s, p, samples, seed)
+    return [AvailabilityPoint(p=p, availability=estimator(system, p)) for p in ps]
+
+
+def node_resilience(system: QuorumSystem) -> int:
+    """Largest ``f`` such that *every* ``f``-subset of failures is survivable.
+
+    Brute force over failure subsets, growing ``f`` until some pattern
+    kills the system (or everything fails). This is the worst-case metric
+    that separates, e.g., majority (``f = ceil(n/2) - 1``) from a grid
+    (``f`` can be 1 for unfortunate patterns only at larger sizes —
+    resilience counts the guaranteed level).
+    """
+    sites = list(system.sites)
+    for f in range(1, system.n + 1):
+        for downs in itertools.combinations(sites, f):
+            if not _survives(system, frozenset(downs)):
+                return f - 1
+    return system.n

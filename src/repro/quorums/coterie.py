@@ -1,0 +1,264 @@
+"""Coteries and quorum systems (paper Section 2).
+
+A *coterie* ``C`` under a universe ``U`` of sites is a set of *quorums*
+(site sets) satisfying:
+
+1. non-emptiness: every quorum is a non-empty subset of ``U``;
+2. minimality: no quorum contains another;
+3. intersection: every pair of quorums shares at least one site.
+
+The intersection property is what carries mutual exclusion; minimality is
+an efficiency concern only (the paper notes this explicitly), so
+:class:`Coterie` enforces intersection strictly and exposes minimality as a
+queryable property plus a :meth:`Coterie.reduce` normalizer.
+
+A :class:`QuorumSystem` is the operational object algorithms consume: it
+assigns each site its ``req_set`` (the quorum it must lock) and can
+re-derive quorums that avoid failed sites for the Section 6 fault-tolerance
+protocol.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from itertools import combinations
+from typing import AbstractSet, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ConfigurationError, CoterieError
+
+SiteId = int
+Quorum = FrozenSet[SiteId]
+
+
+class Coterie:
+    """An immutable, validated coterie.
+
+    Parameters
+    ----------
+    quorums:
+        The quorum sets. Duplicates are collapsed.
+    universe:
+        The site universe ``U``. Defaults to the union of the quorums.
+    require_minimality:
+        When True (default) a non-minimal family raises
+        :class:`~repro.errors.CoterieError`; pass False to accept a
+        dominated family (callers can normalize with :meth:`reduce`).
+    """
+
+    def __init__(
+        self,
+        quorums: Iterable[AbstractSet[SiteId]],
+        universe: Optional[AbstractSet[SiteId]] = None,
+        require_minimality: bool = True,
+    ) -> None:
+        unique: Set[Quorum] = {frozenset(q) for q in quorums}
+        if not unique:
+            raise CoterieError("a coterie must contain at least one quorum")
+        self._quorums: Tuple[Quorum, ...] = tuple(
+            sorted(unique, key=lambda q: (len(q), sorted(q)))
+        )
+        members = frozenset().union(*self._quorums)
+        self._universe: Quorum = frozenset(universe) if universe is not None else members
+
+        for q in self._quorums:
+            if not q:
+                raise CoterieError("quorums must be non-empty")
+            if not q <= self._universe:
+                raise CoterieError(f"quorum {sorted(q)} not within universe")
+        self._check_intersection()
+        if require_minimality and not self.is_minimal:
+            raise CoterieError("coterie violates the minimality property")
+
+    def _check_intersection(self) -> None:
+        for g, h in combinations(self._quorums, 2):
+            if not g & h:
+                raise CoterieError(
+                    f"intersection property violated: {sorted(g)} and {sorted(h)} "
+                    "are disjoint"
+                )
+
+    # -- basic protocol ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._quorums)
+
+    def __iter__(self) -> Iterator[Quorum]:
+        return iter(self._quorums)
+
+    def __contains__(self, quorum: AbstractSet[SiteId]) -> bool:
+        return frozenset(quorum) in set(self._quorums)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Coterie):
+            return NotImplemented
+        return set(self._quorums) == set(other._quorums)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._quorums))
+
+    def __repr__(self) -> str:
+        inner = ", ".join("{" + ",".join(map(str, sorted(q))) + "}" for q in self._quorums)
+        return f"Coterie([{inner}])"
+
+    @property
+    def quorums(self) -> Tuple[Quorum, ...]:
+        """The quorums in deterministic (size, lexicographic) order."""
+        return self._quorums
+
+    @property
+    def universe(self) -> Quorum:
+        """The site universe ``U``."""
+        return self._universe
+
+    # -- structural properties -------------------------------------------------
+
+    @property
+    def is_minimal(self) -> bool:
+        """True iff no quorum is a superset of another (Section 2, prop. 2)."""
+        for g, h in combinations(self._quorums, 2):
+            if g <= h or h <= g:
+                return False
+        return True
+
+    def reduce(self) -> "Coterie":
+        """Return the minimal coterie obtained by dropping dominated quorums."""
+        minimal = [
+            g
+            for g in self._quorums
+            if not any(h < g for h in self._quorums)
+        ]
+        return Coterie(minimal, universe=self._universe)
+
+    def quorum_sizes(self) -> List[int]:
+        """Sizes of all quorums, sorted ascending."""
+        return sorted(len(q) for q in self._quorums)
+
+    def degree_of(self, site: SiteId) -> int:
+        """Number of quorums containing ``site`` (arbitration load)."""
+        return sum(1 for q in self._quorums if site in q)
+
+    def dominates(self, other: "Coterie") -> bool:
+        """True iff this coterie dominates ``other``.
+
+        ``C`` dominates ``D`` when ``C != D`` and every quorum of ``D``
+        contains some quorum of ``C`` (Garcia-Molina & Barbara). Dominated
+        coteries are strictly worse for availability; the fault-tolerance
+        experiments use this to sanity-check constructions.
+        """
+        if self == other:
+            return False
+        return all(any(g <= h for g in self._quorums) for h in other._quorums)
+
+    def is_quorum_alive(self, failed: AbstractSet[SiteId]) -> bool:
+        """True iff some quorum survives when ``failed`` sites are down."""
+        return any(not (q & failed) for q in self._quorums)
+
+
+class QuorumSystem(ABC):
+    """Assigns every site its ``req_set`` and supports failure avoidance.
+
+    Subclasses implement a specific construction (grid, tree, hierarchical,
+    ...). The mutual-exclusion algorithms only call :meth:`quorum_for`; the
+    Section 6 recovery protocol additionally calls :meth:`quorum_avoiding`.
+    """
+
+    #: Registry name, overridden by subclasses.
+    name: str = "abstract"
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ConfigurationError(f"need at least one site, got n={n}")
+        self.n = n
+
+    @property
+    def sites(self) -> range:
+        """The site universe ``0 .. n-1``."""
+        return range(self.n)
+
+    @abstractmethod
+    def quorum_for(self, site: SiteId) -> Quorum:
+        """The quorum (``req_set``) site ``site`` locks to enter the CS."""
+
+    def quorum_avoiding(
+        self, site: SiteId, failed: AbstractSet[SiteId]
+    ) -> Optional[Quorum]:
+        """A quorum for ``site`` avoiding ``failed`` sites, or ``None``.
+
+        The default implementation searches the coterie for any surviving
+        quorum; constructions with structural substitution rules (the tree
+        algorithm) override this with their native procedure.
+        """
+        if not failed:
+            return self.quorum_for(site)
+        candidates = [q for q in self.coterie().quorums if not (q & failed)]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda q: (len(q), sorted(q)))
+
+    def coterie(self) -> Coterie:
+        """The coterie induced by the per-site quorums.
+
+        Per-site assignments may repeat quorums and occasionally produce a
+        non-minimal family (legal for the algorithm, which needs only
+        intersection), so minimality is not enforced here.
+        """
+        return Coterie(
+            {self.quorum_for(s) for s in self.sites},
+            universe=frozenset(self.sites),
+            require_minimality=False,
+        )
+
+    def mean_quorum_size(self) -> float:
+        """Average ``req_set`` size across sites — the paper's ``K``."""
+        return sum(len(self.quorum_for(s)) for s in self.sites) / self.n
+
+    def max_quorum_size(self) -> int:
+        """Largest per-site quorum size."""
+        return max(len(self.quorum_for(s)) for s in self.sites)
+
+    def validate(self) -> None:
+        """Check pairwise intersection of all per-site quorums.
+
+        Raises :class:`~repro.errors.CoterieError` on the first violating
+        pair. O(n^2) set intersections; meant for tests and construction
+        time, not hot paths.
+        """
+        quorums = [self.quorum_for(s) for s in self.sites]
+        for (i, g), (j, h) in combinations(enumerate(quorums), 2):
+            if not g & h:
+                raise CoterieError(
+                    f"req_set({i})={sorted(g)} and req_set({j})={sorted(h)} "
+                    "do not intersect"
+                )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n={self.n})"
+
+
+class ExplicitQuorumSystem(QuorumSystem):
+    """A quorum system given by an explicit per-site table.
+
+    Useful in tests (hand-built coteries) and for the Section 6 recovery
+    path, where a site that re-runs quorum construction pins its new
+    ``req_set`` explicitly.
+    """
+
+    name = "explicit"
+
+    def __init__(self, n: int, table: Sequence[AbstractSet[SiteId]]) -> None:
+        super().__init__(n)
+        if len(table) != n:
+            raise ConfigurationError(
+                f"table has {len(table)} entries for {n} sites"
+            )
+        self._table: List[Quorum] = [frozenset(q) for q in table]
+        for site, q in enumerate(self._table):
+            if not q:
+                raise ConfigurationError(f"empty quorum for site {site}")
+            if not q <= set(range(n)):
+                raise ConfigurationError(
+                    f"quorum for site {site} references unknown sites: {sorted(q)}"
+                )
+
+    def quorum_for(self, site: SiteId) -> Quorum:
+        return self._table[site]

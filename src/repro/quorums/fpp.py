@@ -1,0 +1,111 @@
+"""Finite-projective-plane quorums — Maekawa's optimal construction.
+
+Maekawa's paper [8] builds its quorums from a projective plane of order
+``q``: ``N = q^2 + q + 1`` sites, one per line of PG(2, q); each quorum
+(line) has exactly ``q + 1 ~ sqrt(N)`` sites, any two quorums meet in
+*exactly one* site, and every site carries exactly the same arbitration
+load — the ideal the grid construction only approximates. The paper's
+``K = sqrt(N)`` row assumes exactly this.
+
+This implementation constructs PG(2, q) over the prime field GF(q):
+points are normalized homogeneous triples, lines are the same set by
+duality, and incidence is a zero dot product mod ``q``. Supported system
+sizes are therefore ``N = q^2 + q + 1`` for prime ``q``: 7, 13, 31, 57,
+133, 183, ... (order-6 planes do not exist, and prime powers would need
+full GF(p^k) arithmetic — the prime orders cover the practical sizes).
+
+Following Maekawa, each site is additionally inserted into its own quorum
+when the plane does not already put it there (costs at most one extra
+member and cannot break the intersection property).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.quorums.coterie import Quorum, QuorumSystem, SiteId
+
+
+def _is_prime(q: int) -> bool:
+    if q < 2:
+        return False
+    f = 2
+    while f * f <= q:
+        if q % f == 0:
+            return False
+        f += 1
+    return True
+
+
+def plane_order_for(n: int) -> int:
+    """The prime order ``q`` with ``n = q^2 + q + 1``, or raise."""
+    q = 1
+    while q * q + q + 1 < n:
+        q += 1
+    if q * q + q + 1 != n or not _is_prime(q):
+        valid = [p * p + p + 1 for p in (2, 3, 5, 7, 11, 13, 17) ]
+        raise ConfigurationError(
+            f"no prime-order projective plane with {n} points; "
+            f"supported sizes: {valid}"
+        )
+    return q
+
+
+def _normalized_points(q: int) -> List[Tuple[int, int, int]]:
+    """Canonical representatives of the projective points of PG(2, q)."""
+    points: List[Tuple[int, int, int]] = [(1, a, b) for a in range(q) for b in range(q)]
+    points.extend((0, 1, c) for c in range(q))
+    points.append((0, 0, 1))
+    return points
+
+
+class FPPQuorumSystem(QuorumSystem):
+    """Projective-plane quorums for ``n = q^2 + q + 1`` sites, prime q."""
+
+    name = "fpp"
+
+    def __init__(self, n: int) -> None:
+        super().__init__(n)
+        self.order = plane_order_for(n)
+        q = self.order
+        points = _normalized_points(q)
+        index: Dict[Tuple[int, int, int], int] = {
+            pt: i for i, pt in enumerate(points)
+        }
+        assert len(points) == n
+        # By duality, line i is the point triple i; site j lies on line i
+        # iff <point_j, line_i> = 0 (mod q).
+        self._quorums: List[Quorum] = []
+        for i, line in enumerate(points):
+            members = {
+                j
+                for j, pt in enumerate(points)
+                if (pt[0] * line[0] + pt[1] * line[1] + pt[2] * line[2]) % q == 0
+            }
+            assert len(members) == q + 1, "projective line has q+1 points"
+            members.add(i)  # Maekawa: a site arbitrates its own requests
+            self._quorums.append(frozenset(members))
+        self._index = index
+
+    def quorum_for(self, site: SiteId) -> Quorum:
+        return self._quorums[site]
+
+    def quorum_avoiding(
+        self, site: SiteId, failed: AbstractSet[SiteId]
+    ) -> Optional[Quorum]:
+        """Any surviving line containing ``site``, else any surviving line.
+
+        The plane has no substitution structure (each pair of lines shares
+        exactly one point), so availability is limited — the same
+        fragility as the grid, which is why Section 6 moves to other
+        constructions for fault tolerance.
+        """
+        if not failed:
+            return self.quorum_for(site)
+        candidates = [q for q in self._quorums if not (q & failed)]
+        if not candidates:
+            return None
+        own = [q for q in candidates if site in q]
+        pool = own or candidates
+        return min(pool, key=lambda q: (len(q), sorted(q)))

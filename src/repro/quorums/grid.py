@@ -1,0 +1,90 @@
+"""Maekawa-style grid quorums: ``K = O(sqrt N)``.
+
+Maekawa's original construction uses finite projective planes, which only
+exist for special ``N``; the grid is the standard practical stand-in with
+the same asymptotics and is what the paper's ``K = sqrt(N)`` rows assume.
+
+Sites ``0 .. n-1`` are laid out row-major in a ``rows x cols`` grid whose
+last row may be partial. The quorum of a site is its full row plus its full
+column. Intersection holds for partial grids too: for sites ``i`` and
+``j``, cell ``(row_j, col_i)`` or cell ``(row_i, col_j)`` exists unless both
+sites share the (partial) last row — in which case their rows coincide.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, FrozenSet, Optional
+
+from repro.errors import ConfigurationError
+from repro.quorums.coterie import Quorum, QuorumSystem, SiteId
+
+
+class GridQuorumSystem(QuorumSystem):
+    """Row-plus-column quorums over a near-square grid.
+
+    Parameters
+    ----------
+    n:
+        Number of sites.
+    cols:
+        Grid width; defaults to ``ceil(sqrt(n))``, which minimizes
+        ``rows + cols`` and hence the quorum size.
+    """
+
+    name = "grid"
+
+    def __init__(self, n: int, cols: Optional[int] = None) -> None:
+        super().__init__(n)
+        self.cols = cols if cols is not None else max(1, math.isqrt(n - 1) + 1)
+        if self.cols < 1:
+            raise ConfigurationError(f"cols must be >= 1, got {self.cols}")
+        self.rows = (n + self.cols - 1) // self.cols
+
+    # -- grid geometry -------------------------------------------------------
+
+    def position(self, site: SiteId) -> tuple:
+        """(row, column) of ``site`` in the row-major layout."""
+        if not 0 <= site < self.n:
+            raise ConfigurationError(f"site {site} outside 0..{self.n - 1}")
+        return divmod(site, self.cols)
+
+    def row_members(self, row: int) -> FrozenSet[SiteId]:
+        """All sites in ``row`` (the last row may be shorter)."""
+        start = row * self.cols
+        return frozenset(range(start, min(start + self.cols, self.n)))
+
+    def col_members(self, col: int) -> FrozenSet[SiteId]:
+        """All sites in column ``col``."""
+        return frozenset(
+            r * self.cols + col
+            for r in range(self.rows)
+            if r * self.cols + col < self.n
+        )
+
+    # -- QuorumSystem interface ------------------------------------------------
+
+    def quorum_for(self, site: SiteId) -> Quorum:
+        row, col = self.position(site)
+        return self.row_members(row) | self.col_members(col)
+
+    def quorum_avoiding(
+        self, site: SiteId, failed: AbstractSet[SiteId]
+    ) -> Optional[Quorum]:
+        """Try every (row, column) pair avoiding the failed sites.
+
+        The grid construction has limited fault tolerance — any full row or
+        column loss kills many quorums — which is exactly the motivation the
+        paper gives for the fault-tolerant constructions of Section 6.
+        """
+        if not failed:
+            return self.quorum_for(site)
+        for row in range(self.rows):
+            row_set = self.row_members(row)
+            if row_set & failed:
+                continue
+            for col in range(self.cols):
+                col_set = self.col_members(col)
+                if col_set and not (col_set & failed):
+                    return row_set | col_set
+        return None

@@ -1,0 +1,97 @@
+"""Grid-set quorums (Cheung, Ammar, Ahamad), reference [2] of the paper.
+
+Two-level construction: the ``N`` sites are partitioned into groups of size
+``G``; the *upper* level takes a **majority of groups** (for resiliency),
+and within each selected group the *lower* level takes a **grid quorum**
+of its members (for low cost). Intersection: two group-majorities share at
+least one group, and within that group two grid quorums intersect.
+
+Quorum size is roughly ``(N/G + 1)/2 * O(sqrt(G))``, matching the paper's
+Section 6 expression up to the grid constant. A site failure inside a group
+is tolerated whenever the group's grid can route around it; losing whole
+groups is tolerated up to a minority — no recovery protocol needed for
+minority failures, which is the property Section 6 highlights.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, List, Optional, Sequence, Set
+
+from repro.errors import ConfigurationError
+from repro.quorums.coterie import Quorum, QuorumSystem, SiteId
+from repro.quorums.grid import GridQuorumSystem
+
+
+class GridSetQuorumSystem(QuorumSystem):
+    """Majority of groups, grid quorum inside each chosen group."""
+
+    name = "grid-set"
+
+    def __init__(self, n: int, group_size: int = 4) -> None:
+        super().__init__(n)
+        if group_size < 1:
+            raise ConfigurationError(f"group_size must be >= 1, got {group_size}")
+        self.group_size = min(group_size, n)
+        self.groups: List[Sequence[SiteId]] = [
+            range(start, min(start + self.group_size, n))
+            for start in range(0, n, self.group_size)
+        ]
+        # One grid geometry per group; members are indexed locally 0..g-1.
+        self._grids = [GridQuorumSystem(len(g)) for g in self.groups]
+
+    @property
+    def group_count(self) -> int:
+        """Number of groups at the upper (majority) level."""
+        return len(self.groups)
+
+    @property
+    def groups_needed(self) -> int:
+        """Strict majority of groups."""
+        return self.group_count // 2 + 1
+
+    def group_of(self, site: SiteId) -> int:
+        """Index of the group containing ``site``."""
+        return site // self.group_size
+
+    def _group_quorum(
+        self, group_idx: int, preferred: Optional[SiteId], failed: AbstractSet[SiteId]
+    ) -> Optional[Quorum]:
+        """A grid quorum inside ``group_idx`` avoiding ``failed`` sites."""
+        members = self.groups[group_idx]
+        base = members[0]
+        grid = self._grids[group_idx]
+        local_failed = frozenset(s - base for s in failed if s in members)
+        if preferred is not None and preferred in members and preferred not in failed:
+            anchor = preferred - base
+        else:
+            alive = [s - base for s in members if s not in failed]
+            if not alive:
+                return None
+            anchor = alive[0]
+        local = grid.quorum_avoiding(anchor, local_failed)
+        if local is None:
+            return None
+        return frozenset(base + s for s in local)
+
+    # -- QuorumSystem interface ----------------------------------------------
+
+    def quorum_for(self, site: SiteId) -> Quorum:
+        quorum = self.quorum_avoiding(site, frozenset())
+        assert quorum is not None
+        return quorum
+
+    def quorum_avoiding(
+        self, site: SiteId, failed: AbstractSet[SiteId]
+    ) -> Optional[Quorum]:
+        own = self.group_of(site)
+        order = sorted(range(self.group_count), key=lambda g: (g != own, g))
+        chosen: Set[SiteId] = set()
+        got = 0
+        for g in order:
+            sub = self._group_quorum(g, site if g == own else None, failed)
+            if sub is not None:
+                chosen |= sub
+                got += 1
+                if got == self.groups_needed:
+                    return frozenset(chosen)
+        return None

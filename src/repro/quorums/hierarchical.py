@@ -1,0 +1,116 @@
+"""Hierarchical quorum consensus (HQC), reference [4] of the paper.
+
+Sites are the leaves of a logical multi-level hierarchy; a quorum is formed
+by taking a *majority of subgroups* at every level, recursing until the
+leaves. With branching factor 3 the quorum size is ``N^(log3 2) ~= N^0.63``
+and the construction tolerates minority failures at every level without any
+reconfiguration.
+
+This implementation splits the site list recursively into ``branching``
+nearly equal groups, so any ``N`` is supported (the classic presentation
+assumes ``N = 3^d``; unequal group sizes preserve the intersection proof
+because majorities of the same partition always intersect in at least one
+subgroup, recursively down to a common leaf).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.quorums.coterie import Quorum, QuorumSystem, SiteId
+
+
+def _split(items: Sequence[SiteId], parts: int) -> List[Sequence[SiteId]]:
+    """Split ``items`` into ``parts`` contiguous, nearly equal chunks."""
+    n = len(items)
+    parts = min(parts, n)
+    base, extra = divmod(n, parts)
+    out: List[Sequence[SiteId]] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        out.append(items[start : start + size])
+        start += size
+    return out
+
+
+class HierarchicalQuorumSystem(QuorumSystem):
+    """Recursive majority-of-majorities quorums.
+
+    Parameters
+    ----------
+    n:
+        Number of sites.
+    branching:
+        Number of subgroups at each level (3 in the classic HQC paper; must
+        be odd so every level has a strict majority).
+    leaf_size:
+        Groups at or below this size stop recursing and use a plain
+        majority of their members.
+    """
+
+    name = "hierarchical"
+
+    def __init__(self, n: int, branching: int = 3, leaf_size: int = 3) -> None:
+        super().__init__(n)
+        if branching < 2:
+            raise ConfigurationError(f"branching must be >= 2, got {branching}")
+        if branching % 2 == 0:
+            raise ConfigurationError(
+                f"branching must be odd for strict majorities, got {branching}"
+            )
+        if leaf_size < 1:
+            raise ConfigurationError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.branching = branching
+        self.leaf_size = leaf_size
+
+    # -- recursive construction ------------------------------------------------
+
+    def _quorum(
+        self,
+        group: Sequence[SiteId],
+        preferred: Optional[SiteId],
+        failed: AbstractSet[SiteId],
+    ) -> Optional[Quorum]:
+        """A quorum within ``group`` avoiding ``failed``.
+
+        ``preferred`` biases selection toward subgroups containing the
+        requesting site so its own vote is used when possible, spreading
+        load the way the HQC paper intends.
+        """
+        if len(group) <= self.leaf_size:
+            alive = [s for s in group if s not in failed]
+            need = len(group) // 2 + 1
+            if len(alive) < need:
+                return None
+            alive.sort(key=lambda s: (s != preferred, s))
+            return frozenset(alive[:need])
+
+        subgroups = _split(group, self.branching)
+        need = len(subgroups) // 2 + 1
+        # Try subgroups in deterministic preference order.
+        order = sorted(
+            range(len(subgroups)),
+            key=lambda i: (preferred not in subgroups[i] if preferred is not None else False, i),
+        )
+        chosen: List[Quorum] = []
+        for idx in order:
+            sub = self._quorum(subgroups[idx], preferred, failed)
+            if sub is not None:
+                chosen.append(sub)
+                if len(chosen) == need:
+                    return frozenset().union(*chosen)
+        return None
+
+    # -- QuorumSystem interface ---------------------------------------------
+
+    def quorum_for(self, site: SiteId) -> Quorum:
+        quorum = self._quorum(list(self.sites), site, frozenset())
+        assert quorum is not None  # failure-free construction always succeeds
+        return quorum
+
+    def quorum_avoiding(
+        self, site: SiteId, failed: AbstractSet[SiteId]
+    ) -> Optional[Quorum]:
+        return self._quorum(list(self.sites), site, frozenset(failed))

@@ -1,0 +1,40 @@
+"""Majority voting quorums (Thomas 1979), reference [18] of the paper.
+
+A quorum is any ``floor(N/2) + 1`` sites. Majority has the best possible
+availability of any coterie for iid site failures but ``K = O(N)`` message
+cost — the high-resiliency / high-cost end of the trade-off the paper's
+Section 6 discusses.
+
+Per-site assignment takes the site itself plus the next ``floor(N/2)``
+sites around the ring, so arbitration load is perfectly balanced.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Optional
+
+from repro.quorums.coterie import Quorum, QuorumSystem, SiteId
+
+
+class MajorityQuorumSystem(QuorumSystem):
+    """Ring-balanced majority quorums."""
+
+    name = "majority"
+
+    @property
+    def quorum_size(self) -> int:
+        """``floor(N/2) + 1``."""
+        return self.n // 2 + 1
+
+    def quorum_for(self, site: SiteId) -> Quorum:
+        return frozenset((site + k) % self.n for k in range(self.quorum_size))
+
+    def quorum_avoiding(
+        self, site: SiteId, failed: AbstractSet[SiteId]
+    ) -> Optional[Quorum]:
+        """Any majority of live sites, preferring the requester's own vote."""
+        alive = [s for s in self.sites if s not in failed]
+        if len(alive) < self.quorum_size:
+            return None
+        alive.sort(key=lambda s: (s != site, (s - site) % self.n))
+        return frozenset(alive[: self.quorum_size])

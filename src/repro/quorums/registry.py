@@ -1,0 +1,59 @@
+"""Name-based registry of quorum constructions.
+
+The CLI, the experiment harness, and the tests all refer to constructions
+by their short names (``grid``, ``tree``, ...); this module is the single
+mapping from names to factories so a new construction registers once.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ConfigurationError
+from repro.quorums.coterie import QuorumSystem
+from repro.quorums.fpp import FPPQuorumSystem
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.gridset import GridSetQuorumSystem
+from repro.quorums.hierarchical import HierarchicalQuorumSystem
+from repro.quorums.majority import MajorityQuorumSystem
+from repro.quorums.rst import RSTQuorumSystem
+from repro.quorums.singleton import SingletonQuorumSystem
+from repro.quorums.tree import TreeQuorumSystem
+from repro.quorums.wheel import WheelQuorumSystem
+
+QuorumFactory = Callable[[int], QuorumSystem]
+
+_REGISTRY: Dict[str, QuorumFactory] = {
+    FPPQuorumSystem.name: FPPQuorumSystem,
+    GridQuorumSystem.name: GridQuorumSystem,
+    TreeQuorumSystem.name: TreeQuorumSystem,
+    HierarchicalQuorumSystem.name: HierarchicalQuorumSystem,
+    MajorityQuorumSystem.name: MajorityQuorumSystem,
+    SingletonQuorumSystem.name: SingletonQuorumSystem,
+    WheelQuorumSystem.name: WheelQuorumSystem,
+    GridSetQuorumSystem.name: GridSetQuorumSystem,
+    RSTQuorumSystem.name: RSTQuorumSystem,
+}
+
+
+def quorum_system_names() -> List[str]:
+    """Registered construction names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def make_quorum_system(name: str, n: int, **kwargs) -> QuorumSystem:
+    """Instantiate the construction registered as ``name`` for ``n`` sites."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown quorum system {name!r}; known: {', '.join(quorum_system_names())}"
+        ) from None
+    return factory(n, **kwargs)
+
+
+def register_quorum_system(name: str, factory: QuorumFactory) -> None:
+    """Register a custom construction (used by tests and extensions)."""
+    if name in _REGISTRY:
+        raise ConfigurationError(f"quorum system {name!r} already registered")
+    _REGISTRY[name] = factory

@@ -1,0 +1,91 @@
+"""Rangarajan–Setia–Tripathi quorums, reference [11] of the paper.
+
+The dual of the grid-set construction: sites are partitioned into
+subgroups of size ``G``; the *upper* level arranges the subgroups in a
+Maekawa-like **grid** (row + column of subgroups), and the *lower* level
+takes a **majority** of each selected subgroup. Intersection: two
+subgroup-grid quorums share at least one subgroup, and two majorities of
+that subgroup share at least one site.
+
+Quorum size is ``(G+1)/2 * O(sqrt(N/G))`` — the paper's Section 6
+expression — and any minority of failures inside a subgroup is masked with
+no recovery protocol at all, which is the property the paper contrasts
+against the tree/HQC constructions.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, List, Optional, Sequence, Set
+
+from repro.errors import ConfigurationError
+from repro.quorums.coterie import Quorum, QuorumSystem, SiteId
+from repro.quorums.grid import GridQuorumSystem
+
+
+class RSTQuorumSystem(QuorumSystem):
+    """Grid of subgroups, majority inside each selected subgroup."""
+
+    name = "rst"
+
+    def __init__(self, n: int, subgroup_size: int = 3) -> None:
+        super().__init__(n)
+        if subgroup_size < 1:
+            raise ConfigurationError(
+                f"subgroup_size must be >= 1, got {subgroup_size}"
+            )
+        self.subgroup_size = min(subgroup_size, n)
+        self.subgroups: List[Sequence[SiteId]] = [
+            range(start, min(start + self.subgroup_size, n))
+            for start in range(0, n, self.subgroup_size)
+        ]
+        # Upper-level grid over subgroup indices.
+        self._meta_grid = GridQuorumSystem(len(self.subgroups))
+
+    @property
+    def subgroup_count(self) -> int:
+        """Number of subgroups arranged in the upper-level grid."""
+        return len(self.subgroups)
+
+    def subgroup_of(self, site: SiteId) -> int:
+        """Index of the subgroup containing ``site``."""
+        return site // self.subgroup_size
+
+    def _majority(
+        self, group_idx: int, preferred: Optional[SiteId], failed: AbstractSet[SiteId]
+    ) -> Optional[Quorum]:
+        """A majority of subgroup ``group_idx`` avoiding ``failed``."""
+        members = list(self.subgroups[group_idx])
+        need = len(members) // 2 + 1
+        alive = [s for s in members if s not in failed]
+        if len(alive) < need:
+            return None
+        alive.sort(key=lambda s: (s != preferred, s))
+        return frozenset(alive[:need])
+
+    # -- QuorumSystem interface --------------------------------------------
+
+    def quorum_for(self, site: SiteId) -> Quorum:
+        quorum = self.quorum_avoiding(site, frozenset())
+        assert quorum is not None
+        return quorum
+
+    def quorum_avoiding(
+        self, site: SiteId, failed: AbstractSet[SiteId]
+    ) -> Optional[Quorum]:
+        own = self.subgroup_of(site)
+        # Dead subgroups (no achievable majority) are failure points for the
+        # upper-level grid; route the grid around them.
+        dead = frozenset(
+            g
+            for g in range(self.subgroup_count)
+            if self._majority(g, None, failed) is None
+        )
+        meta = self._meta_grid.quorum_avoiding(own, dead)
+        if meta is None:
+            return None
+        chosen: Set[SiteId] = set()
+        for g in meta:
+            sub = self._majority(g, site if g == own else None, failed)
+            assert sub is not None  # g was screened against `dead`
+            chosen |= sub
+        return frozenset(chosen)

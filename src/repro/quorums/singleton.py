@@ -1,0 +1,36 @@
+"""Singleton (centralized) coterie: ``C = {{c}}``.
+
+The degenerate coterie with one one-site quorum. Minimal message cost and
+the worst possible availability (the arbiter is a single point of failure).
+Included because it is the coterie-world equivalent of a centralized lock
+server and a useful lower-bound baseline in the message-count experiments.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Optional
+
+from repro.errors import ConfigurationError
+from repro.quorums.coterie import Quorum, QuorumSystem, SiteId
+
+
+class SingletonQuorumSystem(QuorumSystem):
+    """Every site's quorum is the same single arbiter site."""
+
+    name = "singleton"
+
+    def __init__(self, n: int, arbiter: SiteId = 0) -> None:
+        super().__init__(n)
+        if not 0 <= arbiter < n:
+            raise ConfigurationError(f"arbiter {arbiter} outside 0..{n - 1}")
+        self.arbiter = arbiter
+
+    def quorum_for(self, site: SiteId) -> Quorum:
+        return frozenset({self.arbiter})
+
+    def quorum_avoiding(
+        self, site: SiteId, failed: AbstractSet[SiteId]
+    ) -> Optional[Quorum]:
+        if self.arbiter in failed:
+            return None
+        return frozenset({self.arbiter})

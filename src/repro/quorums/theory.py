@@ -1,0 +1,126 @@
+"""Coterie theory: transversals, (non)domination, and composition.
+
+Tools from the coterie literature the paper builds on (Garcia-Molina &
+Barbará's framework, cited via [3]):
+
+* **minimal transversals** — the minimal site sets hitting every quorum;
+  the transversal hypergraph characterizes a coterie completely;
+* **non-domination** — a coterie ``C`` is *dominated* when another
+  coterie grants strictly more access patterns while still excluding
+  everything ``C`` excludes; dominated coteries waste availability.
+  Test: ``C`` is non-dominated iff every minimal transversal of ``C``
+  contains a quorum of ``C`` (equivalently, ``Tr(C) = C``);
+* **composition** — the Neilsen–Mizuno substitution: replacing one site
+  of a coterie by a whole sub-coterie yields a larger coterie (and
+  preserves non-domination), the standard way to build hierarchical
+  systems such as the paper's grid-set/RST from primitive ones.
+
+All algorithms are exact and exponential in the worst case (transversal
+enumeration is the hypergraph-dualization problem), intended for the
+universe sizes where humans reason about coteries — tests and design
+exploration, not hot paths.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, Iterable, List, Optional, Set
+
+from repro.errors import ConfigurationError
+from repro.quorums.coterie import Coterie, Quorum
+
+
+def _minimalize(sets: Iterable[FrozenSet[int]]) -> List[FrozenSet[int]]:
+    """Drop every set that strictly contains another."""
+    pool = sorted(set(sets), key=len)
+    out: List[FrozenSet[int]] = []
+    for candidate in pool:
+        if not any(kept <= candidate for kept in out):
+            out.append(candidate)
+    return out
+
+
+def minimal_transversals(coterie: Coterie) -> List[Quorum]:
+    """All minimal hitting sets of the coterie's quorums (Berge's
+    sequential method)."""
+    transversals: List[FrozenSet[int]] = [frozenset()]
+    for quorum in coterie.quorums:
+        expanded = {
+            t | {site}
+            for t in transversals
+            for site in quorum
+        }
+        transversals = _minimalize(expanded)
+    return sorted(transversals, key=lambda t: (len(t), sorted(t)))
+
+
+def is_nondominated(coterie: Coterie) -> bool:
+    """Garcia-Molina & Barbará's criterion.
+
+    ``C`` is dominated iff some transversal of ``C`` contains **no**
+    quorum of ``C`` (that transversal could be added as a new quorum,
+    improving availability without breaking intersection). Equivalently,
+    ``C`` is non-dominated iff every minimal transversal contains a
+    quorum.
+    """
+    quorums = set(coterie.quorums)
+    for transversal in minimal_transversals(coterie):
+        if not any(q <= transversal for q in quorums):
+            return False
+    return True
+
+
+def dominating_extension(coterie: Coterie) -> Optional[Coterie]:
+    """A coterie dominating ``coterie``, or ``None`` if it is ND.
+
+    Construction from the domination proof: add a transversal that
+    contains no existing quorum, then re-minimalize.
+    """
+    quorums = set(coterie.quorums)
+    for transversal in minimal_transversals(coterie):
+        if not any(q <= transversal for q in quorums):
+            extended = Coterie(
+                list(quorums) + [transversal],
+                universe=coterie.universe,
+                require_minimality=False,
+            ).reduce()
+            return extended
+    return None
+
+
+def compose(
+    outer: Coterie, at_site: int, inner: Coterie
+) -> Coterie:
+    """Neilsen–Mizuno composition: substitute ``inner`` for one site.
+
+    Every quorum of ``outer`` containing ``at_site`` has that site
+    replaced by each quorum of ``inner``; quorums avoiding ``at_site``
+    pass through. The inner universe must be disjoint from the outer
+    (minus the replaced site), which is how hierarchical constructions
+    keep levels separate.
+
+    If both inputs are coteries, the result is a coterie; if both are
+    non-dominated, so is the result (Neilsen & Mizuno 1992).
+    """
+    outer_rest = set(outer.universe) - {at_site}
+    if outer_rest & set(inner.universe):
+        raise ConfigurationError(
+            "inner universe must be disjoint from the remaining outer sites"
+        )
+    if at_site not in outer.universe:
+        raise ConfigurationError(f"site {at_site} is not in the outer universe")
+    quorums: Set[Quorum] = set()
+    for g in outer.quorums:
+        if at_site in g:
+            for h in inner.quorums:
+                quorums.add((g - {at_site}) | h)
+        else:
+            quorums.add(g)
+    universe = frozenset(outer_rest) | inner.universe
+    return Coterie(quorums, universe=universe, require_minimality=False).reduce()
+
+
+def coterie_degree_profile(coterie: Coterie) -> List[int]:
+    """Arbitration degrees of every universe site, sorted descending."""
+    return sorted(
+        (coterie.degree_of(site) for site in coterie.universe), reverse=True
+    )

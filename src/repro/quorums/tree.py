@@ -1,0 +1,99 @@
+"""Agrawal–El Abbadi tree quorums: ``K = log N`` best case.
+
+Reference [1] of the paper. The ``N`` sites are the nodes of a
+heap-shaped (complete) binary tree. In the failure-free case a quorum is
+any root-to-leaf path, so ``K = O(log N)``; when sites fail, an
+unavailable node is substituted by *two* paths, one through each of its
+children, degrading gracefully toward ``O(N^0.63)`` and ultimately
+requiring a majority of leaves.
+
+The recursive construction below is the paper's algorithm verbatim::
+
+    quorum(v):
+        if v is a leaf: {v} if v alive else FAIL
+        if v alive:     {v} + quorum(either child), preferring one that works
+        else:           quorum(left) + quorum(right), both must succeed
+
+Every returned set intersects every other constructible set, whatever the
+failure pattern (Agrawal & El Abbadi 1991, Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, FrozenSet, List, Optional, Set
+
+from repro.quorums.coterie import Quorum, QuorumSystem, SiteId
+
+
+class TreeQuorumSystem(QuorumSystem):
+    """Tree quorums over the heap layout (children of ``i``: ``2i+1, 2i+2``)."""
+
+    name = "tree"
+
+    # -- tree geometry ---------------------------------------------------------
+
+    def children(self, site: SiteId) -> List[SiteId]:
+        """Existing children of ``site`` in the heap layout."""
+        return [c for c in (2 * site + 1, 2 * site + 2) if c < self.n]
+
+    def is_leaf(self, site: SiteId) -> bool:
+        """True when ``site`` has no children."""
+        return 2 * site + 1 >= self.n
+
+    def path_to_root(self, site: SiteId) -> List[SiteId]:
+        """Sites from the root down to ``site`` inclusive."""
+        path = [site]
+        while site != 0:
+            site = (site - 1) // 2
+            path.append(site)
+        return list(reversed(path))
+
+    def descend_to_leaf(self, site: SiteId) -> List[SiteId]:
+        """Path from ``site`` to a leaf, alternating sides for load spread."""
+        path = [site]
+        step = site  # deterministic per-site zig-zag
+        while not self.is_leaf(path[-1]):
+            kids = self.children(path[-1])
+            path.append(kids[step % len(kids)])
+            step //= 2
+        return path
+
+    # -- QuorumSystem interface ----------------------------------------------
+
+    def quorum_for(self, site: SiteId) -> Quorum:
+        """Failure-free quorum: the root-to-leaf path through ``site``.
+
+        Routing the path through the requesting site spreads arbitration
+        load over the tree while every pair of paths still shares the root.
+        """
+        up = self.path_to_root(site)
+        down = self.descend_to_leaf(site)
+        return frozenset(up) | frozenset(down)
+
+    def quorum_avoiding(
+        self, site: SiteId, failed: AbstractSet[SiteId]
+    ) -> Optional[Quorum]:
+        """The Agrawal–El Abbadi substitution algorithm."""
+        return self._collect(0, frozenset(failed))
+
+    def _collect(self, node: SiteId, failed: FrozenSet[SiteId]) -> Optional[Quorum]:
+        alive = node not in failed
+        if self.is_leaf(node):
+            return frozenset({node}) if alive else None
+        kids = self.children(node)
+        if alive:
+            # Prefer the smaller child-quorum; any single child path works.
+            options = [self._collect(c, failed) for c in kids]
+            viable = [q for q in options if q is not None]
+            if viable:
+                best = min(viable, key=lambda q: (len(q), sorted(q)))
+                return frozenset({node}) | best
+            return None
+        # Failed interior node: need quorums from *all* children.
+        parts: Set[SiteId] = set()
+        for c in kids:
+            sub = self._collect(c, failed)
+            if sub is None:
+                return None
+            parts |= sub
+        return frozenset(parts)

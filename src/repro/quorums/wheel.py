@@ -1,0 +1,64 @@
+"""Wheel coterie: a hub plus spokes.
+
+Quorums are ``{hub, spoke}`` for every spoke, plus the set of all spokes
+(which keeps the system available when the hub fails). Quorum size is 2 in
+the common case — the cheapest non-trivial coterie — at the cost of heavy
+load on the hub. A classic construction from the coterie literature,
+included as a size/load extreme point for the quorum-scaling experiment.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Optional
+
+from repro.errors import ConfigurationError
+from repro.quorums.coterie import Coterie, Quorum, QuorumSystem, SiteId
+
+
+class WheelQuorumSystem(QuorumSystem):
+    """Hub-and-spoke quorums; needs ``n >= 2``."""
+
+    name = "wheel"
+
+    def __init__(self, n: int, hub: SiteId = 0) -> None:
+        super().__init__(n)
+        if n < 2:
+            raise ConfigurationError("wheel coterie needs at least 2 sites")
+        if not 0 <= hub < n:
+            raise ConfigurationError(f"hub {hub} outside 0..{n - 1}")
+        self.hub = hub
+
+    @property
+    def rim(self) -> Quorum:
+        """All non-hub sites."""
+        return frozenset(s for s in self.sites if s != self.hub)
+
+    def quorum_for(self, site: SiteId) -> Quorum:
+        if site == self.hub:
+            # The hub pairs with its smallest spoke.
+            return frozenset({self.hub, min(self.rim)})
+        return frozenset({self.hub, site})
+
+    def quorum_avoiding(
+        self, site: SiteId, failed: AbstractSet[SiteId]
+    ) -> Optional[Quorum]:
+        if self.hub not in failed:
+            spokes = [s for s in self.rim if s not in failed]
+            preferred = site if site in spokes else (min(spokes) if spokes else None)
+            if preferred is not None:
+                return frozenset({self.hub, preferred})
+            # Hub alive but every spoke dead: the all-spokes quorum is dead
+            # too, and {hub} alone is not a quorum of this coterie.
+            return None
+        if self.rim & failed:
+            return None
+        return self.rim
+
+    def coterie(self) -> Coterie:
+        """The full wheel coterie including the hub-failure quorum."""
+        quorums = [frozenset({self.hub, s}) for s in self.rim]
+        if len(self.rim) > 1:
+            quorums.append(self.rim)
+        return Coterie(
+            quorums, universe=frozenset(self.sites), require_minimality=False
+        )

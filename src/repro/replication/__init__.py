@@ -1,0 +1,30 @@
+"""Quorum replica control (the paper's Section 7 application).
+
+A versioned replicated register over any intersecting quorum system
+(:class:`ReplicaSite`), plus the combination the paper's conclusion
+proposes: updates serialized by the delay-optimal mutex
+(:class:`LockedRegisterSite`).
+"""
+
+from repro.replication.locked import LockedRegisterSite
+from repro.replication.messages import (
+    ReadAck,
+    ReadReq,
+    Version,
+    WriteAck,
+    WriteReq,
+    ZERO_VERSION,
+)
+from repro.replication.replica import ReplicaRole, ReplicaSite
+
+__all__ = [
+    "LockedRegisterSite",
+    "ReadAck",
+    "ReadReq",
+    "ReplicaRole",
+    "ReplicaSite",
+    "Version",
+    "WriteAck",
+    "WriteReq",
+    "ZERO_VERSION",
+]

@@ -1,0 +1,64 @@
+"""Messages for quorum replica control.
+
+Versions are ``(counter, writer)`` pairs ordered lexicographically, the
+classic Gifford/Thomas versioned-register scheme: a writer picks a counter
+one above the largest it read from a quorum, and readers return the
+highest-versioned value a quorum holds. Quorum intersection (the same
+property that carries mutual exclusion in the paper) guarantees a read
+quorum overlaps every committed write quorum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+SiteId = int
+
+#: Version tag: (counter, writer site id), lexicographic order.
+Version = Tuple[int, int]
+
+ZERO_VERSION: Version = (0, -1)
+
+
+@dataclass(frozen=True)
+class ReadReq:
+    """Ask a replica for its current (version, value)."""
+
+    op_id: int
+    client: SiteId
+
+    type_name = "read-req"
+
+
+@dataclass(frozen=True)
+class ReadAck:
+    """A replica's answer to :class:`ReadReq`."""
+
+    op_id: int
+    version: Version
+    value: Any
+
+    type_name = "read-ack"
+
+
+@dataclass(frozen=True)
+class WriteReq:
+    """Install (version, value) at a replica if the version is newer."""
+
+    op_id: int
+    client: SiteId
+    version: Version
+    value: Any
+
+    type_name = "write-req"
+
+
+@dataclass(frozen=True)
+class WriteAck:
+    """Acknowledgement of a :class:`WriteReq` (idempotent)."""
+
+    op_id: int
+    version: Version
+
+    type_name = "write-ack"

@@ -1,0 +1,226 @@
+"""A replicated versioned register over any intersecting quorum system.
+
+:class:`ReplicaSite` plays two roles, mirroring the mutex design:
+
+* **storage role** — holds one copy of the register as ``(version,
+  value)`` and serves read/write requests, installing a write only when
+  its version is newer (so replays and reordered writes are harmless);
+* **client role** — runs quorum operations against its own
+  ``req_set``-style quorum:
+
+  - :meth:`read` — collect ``(version, value)`` from every member of a
+    quorum, return the highest-versioned value;
+  - :meth:`write` — phase 1 read versions from a quorum, phase 2 install
+    ``(max+1, me)`` at a quorum; the operation completes when every
+    member acknowledged.
+
+Safety rests on exactly the paper's Section 2 property: any two quorums
+intersect, so a read quorum always contains at least one replica that
+holds the latest committed write. Concurrent writers are serialized only
+by version tie-break (last-writer-wins); for strict one-at-a-time write
+ordering, guard writes with the distributed mutex — which is precisely
+the pairing the paper's conclusion proposes, demonstrated in
+``examples/`` and the integration tests.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import ProtocolError
+from repro.replication.messages import (
+    ReadAck,
+    ReadReq,
+    Version,
+    WriteAck,
+    WriteReq,
+    ZERO_VERSION,
+)
+from repro.sim.node import Node, SiteId
+
+#: Completion callbacks: read -> (value, version); write -> version.
+ReadCallback = Callable[[Any, Version], None]
+WriteCallback = Callable[[Version], None]
+
+
+@dataclass
+class _PendingRead:
+    quorum: frozenset
+    acks: Dict[SiteId, ReadAck] = field(default_factory=dict)
+    callback: Optional[ReadCallback] = None
+    #: True when this read is the version-discovery phase of a write
+    #: (``write_value`` may legitimately be None).
+    is_write: bool = False
+    write_value: Any = None
+    write_callback: Optional[WriteCallback] = None
+
+
+@dataclass
+class _PendingWrite:
+    quorum: frozenset
+    version: Version
+    acked: set = field(default_factory=set)
+    callback: Optional[WriteCallback] = None
+
+
+class ReplicaRole:
+    """The storage+client state machine, as a mixin.
+
+    Factored out of :class:`ReplicaSite` so it can compose with a mutex
+    site (see :class:`repro.replication.locked.LockedRegisterSite`): the
+    host class must provide ``send``/``site_id`` (any
+    :class:`~repro.sim.node.Node`) and call :meth:`_init_replica` from its
+    constructor, then route replication messages through
+    :meth:`handle_replication_message`.
+    """
+
+    def _init_replica(
+        self,
+        data_quorum: Iterable[SiteId],
+        initial_value: Any = None,
+    ) -> None:
+        self.data_quorum = frozenset(data_quorum)
+        if not self.data_quorum:
+            raise ProtocolError(f"replica {self.site_id} has an empty quorum")
+        self.version: Version = ZERO_VERSION
+        self.value: Any = initial_value
+        self._op_ids = itertools.count()
+        self._reads: Dict[int, _PendingRead] = {}
+        self._writes: Dict[int, _PendingWrite] = {}
+        #: Operation counters for tests/metrics.
+        self.reads_completed = 0
+        self.writes_completed = 0
+
+    # ------------------------------------------------------------------
+    # Client role
+    # ------------------------------------------------------------------
+
+    def read(self, callback: Optional[ReadCallback] = None) -> int:
+        """Start a quorum read; ``callback(value, version)`` on completion."""
+        op_id = next(self._op_ids)
+        self._reads[op_id] = _PendingRead(
+            quorum=self.data_quorum, callback=callback
+        )
+        for member in sorted(self.data_quorum):
+            self.send(member, ReadReq(op_id=op_id, client=self.site_id))
+        return op_id
+
+    def write(self, value: Any, callback: Optional[WriteCallback] = None) -> int:
+        """Start a quorum write; ``callback(version)`` once installed.
+
+        Runs the two-phase Gifford protocol: discover the highest version
+        at a quorum, then install ``(max_counter + 1, self)`` at a quorum.
+        """
+        op_id = next(self._op_ids)
+        self._reads[op_id] = _PendingRead(
+            quorum=self.data_quorum,
+            is_write=True,
+            write_value=value,
+            write_callback=callback,
+        )
+        for member in sorted(self.data_quorum):
+            self.send(member, ReadReq(op_id=op_id, client=self.site_id))
+        return op_id
+
+    # ------------------------------------------------------------------
+    # Storage role
+    # ------------------------------------------------------------------
+
+    def _serve_read(self, src: SiteId, msg: ReadReq) -> None:
+        self.send(
+            src, ReadAck(op_id=msg.op_id, version=self.version, value=self.value)
+        )
+
+    def _serve_write(self, src: SiteId, msg: WriteReq) -> None:
+        if msg.version > self.version:
+            self.version = msg.version
+            self.value = msg.value
+        # Idempotent ack: even an old write is acknowledged (it is
+        # subsumed by what we already store).
+        self.send(src, WriteAck(op_id=msg.op_id, version=msg.version))
+
+    # ------------------------------------------------------------------
+    # Client-side completion
+    # ------------------------------------------------------------------
+
+    def _record_read_ack(self, src: SiteId, msg: ReadAck) -> None:
+        pending = self._reads.get(msg.op_id)
+        if pending is None or src not in pending.quorum:
+            return  # late ack for a finished operation
+        pending.acks[src] = msg
+        if set(pending.acks) < pending.quorum:
+            return
+        del self._reads[msg.op_id]
+        best = max(pending.acks.values(), key=lambda a: a.version)
+        if not pending.is_write:
+            self.reads_completed += 1
+            if pending.callback is not None:
+                pending.callback(best.value, best.version)
+            return
+        # Phase 2 of a write: install a strictly newer version.
+        new_version: Version = (best.version[0] + 1, self.site_id)
+        op_id = next(self._op_ids)
+        self._writes[op_id] = _PendingWrite(
+            quorum=self.data_quorum,
+            version=new_version,
+            callback=pending.write_callback,
+        )
+        for member in sorted(self.data_quorum):
+            self.send(
+                member,
+                WriteReq(
+                    op_id=op_id,
+                    client=self.site_id,
+                    version=new_version,
+                    value=pending.write_value,
+                ),
+            )
+
+    def _record_write_ack(self, src: SiteId, msg: WriteAck) -> None:
+        pending = self._writes.get(msg.op_id)
+        if pending is None or src not in pending.quorum:
+            return
+        pending.acked.add(src)
+        if pending.acked < pending.quorum:
+            return
+        del self._writes[msg.op_id]
+        self.writes_completed += 1
+        if pending.callback is not None:
+            pending.callback(pending.version)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+
+    def handle_replication_message(self, src: SiteId, message: object) -> bool:
+        """Consume one replication message; False if it is not ours."""
+        if isinstance(message, ReadReq):
+            self._serve_read(src, message)
+        elif isinstance(message, ReadAck):
+            self._record_read_ack(src, message)
+        elif isinstance(message, WriteReq):
+            self._serve_write(src, message)
+        elif isinstance(message, WriteAck):
+            self._record_write_ack(src, message)
+        else:
+            return False
+        return True
+
+
+class ReplicaSite(ReplicaRole, Node):
+    """One standalone replica (and client) of the replicated register."""
+
+    def __init__(
+        self,
+        site_id: SiteId,
+        quorum: Iterable[SiteId],
+        initial_value: Any = None,
+    ) -> None:
+        Node.__init__(self, site_id)
+        self._init_replica(quorum, initial_value)
+
+    def on_message(self, src: SiteId, message: object) -> None:
+        if not self.handle_replication_message(src, message):
+            raise ProtocolError(f"replica {self.site_id}: unknown {message!r}")

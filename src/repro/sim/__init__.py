@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate.
+
+Implements the paper's system model (Section 2): ``N`` fully connected
+sites communicating asynchronously over reliable FIFO channels with
+unpredictable but positive message delays, no shared memory, no global
+clock. The fault-tolerance experiments extend the model with fail-stop
+crashes and severed links.
+"""
+
+from repro.sim.event import Event, EventQueue
+from repro.sim.network import (
+    ConstantDelay,
+    DelayModel,
+    Envelope,
+    ExponentialDelay,
+    LogNormalDelay,
+    Network,
+    NetworkStats,
+    ParetoDelay,
+    UniformDelay,
+)
+from repro.sim.node import Node
+from repro.sim.rng import SeedSequence
+from repro.sim.simulator import Simulator
+from repro.sim.trace import Trace, TraceRecord
+
+__all__ = [
+    "ConstantDelay",
+    "DelayModel",
+    "Envelope",
+    "Event",
+    "EventQueue",
+    "ExponentialDelay",
+    "LogNormalDelay",
+    "Network",
+    "NetworkStats",
+    "Node",
+    "ParetoDelay",
+    "SeedSequence",
+    "Simulator",
+    "Trace",
+    "TraceRecord",
+    "UniformDelay",
+]

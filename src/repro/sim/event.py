@@ -1,0 +1,121 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+The kernel is a classic calendar queue: an :class:`Event` is a callback
+bound to a simulated time, and ties are broken deterministically by a
+monotonically increasing sequence number assigned at scheduling time. That
+tie-break makes every simulation run a pure function of its seed, which the
+test suite and the benchmark harness rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.errors import SimulationError
+
+#: Type alias for event callbacks. Callbacks take no arguments; bind any
+#: context with a closure or :func:`functools.partial`.
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events order by ``(time, seq)``. ``seq`` is assigned by the queue so two
+    events scheduled for the same instant fire in scheduling order, keeping
+    runs deterministic without relying on heap internals.
+    """
+
+    time: float
+    seq: int
+    action: Action = field(compare=False)
+    #: Human-readable tag used by traces and error messages.
+    label: str = field(compare=False, default="")
+    #: Cancelled events stay in the heap but are skipped on pop.
+    cancelled: bool = field(compare=False, default=False)
+    #: Owning queue, set on push; lets cancel() keep the live count exact.
+    _queue: Optional["EventQueue"] = field(
+        compare=False, default=None, repr=False
+    )
+
+    def cancel(self) -> None:
+        """Mark the event so the queue drops it instead of firing it.
+
+        Idempotent; the owning queue's live count drops immediately, so
+        ``len(queue)`` never counts cancelled timers.
+        """
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects.
+
+    The queue never exposes heap order beyond the strict ``(time, seq)``
+    contract. Cancellation is lazy: cancelled events are skipped when
+    popped, which keeps :meth:`push` and :meth:`Event.cancel` O(log n) and
+    O(1) respectively.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter: Iterator[int] = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, time: float, action: Action, label: str = "") -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle.
+
+        The handle supports :meth:`Event.cancel` for timers that may be
+        disarmed (for example heartbeat timeouts refreshed by a new
+        heartbeat).
+        """
+        event = Event(
+            time=time,
+            seq=next(self._counter),
+            action=action,
+            label=label,
+            _queue=self,
+        )
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` to keep the live count exact."""
+        self._live -= 1
+
+    def pop(self) -> Optional[Event]:
+        """Return the earliest live event, or ``None`` if the queue is empty.
+
+        Cancelled events encountered on the way are discarded silently.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        if self._live:
+            # Every live event must be reachable; a mismatch means the
+            # cancellation bookkeeping broke.
+            raise SimulationError("event queue accounting is corrupt")
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the firing time of the next live event without popping it."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

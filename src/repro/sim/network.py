@@ -1,0 +1,344 @@
+"""Network model: delay distributions and FIFO point-to-point channels.
+
+The paper's system model (Section 2) assumes a fully connected network with
+reliable channels, unpredictable but bounded message delay, and FIFO
+delivery between any pair of sites. :class:`Network` implements exactly
+that, with the delay drawn from a pluggable :class:`DelayModel`.
+
+Delays are expressed in units of the mean message delay ``T`` so measured
+synchronization delays read directly against the paper's ``T`` / ``2T``
+claims. The fault-tolerance experiments additionally need crashed sites and
+severed links, which the network models by silently dropping traffic to and
+from crashed/partitioned endpoints (a crashed site neither sends nor
+receives; the paper's Section 6 recovery protocol then repairs the
+protocol-level state).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+
+SiteId = int
+
+
+class DelayModel(ABC):
+    """Distribution of one-way message latencies.
+
+    Implementations must guarantee strictly positive samples (a zero delay
+    would let a message arrive in the same instant it was sent, which the
+    paper's model excludes and which would break FIFO tie-breaking).
+    """
+
+    @abstractmethod
+    def sample(self, rng: random.Random, src: SiteId, dst: SiteId) -> float:
+        """Return a latency sample for a message from ``src`` to ``dst``."""
+
+    @property
+    @abstractmethod
+    def mean(self) -> float:
+        """The mean latency ``T`` of the model, used to normalize metrics."""
+
+
+class ConstantDelay(DelayModel):
+    """Every message takes exactly ``latency`` time units.
+
+    Useful for analytical comparisons: with constant delay the measured
+    synchronization delay of a correct run is *exactly* ``T`` or ``2T``.
+    """
+
+    def __init__(self, latency: float = 1.0) -> None:
+        if latency <= 0:
+            raise ConfigurationError(f"latency must be positive, got {latency}")
+        self._latency = float(latency)
+
+    def sample(self, rng: random.Random, src: SiteId, dst: SiteId) -> float:
+        return self._latency
+
+    @property
+    def mean(self) -> float:
+        return self._latency
+
+    def __repr__(self) -> str:
+        return f"ConstantDelay({self._latency})"
+
+
+class UniformDelay(DelayModel):
+    """Latency drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
+        if not 0 < low <= high:
+            raise ConfigurationError(
+                f"need 0 < low <= high, got low={low}, high={high}"
+            )
+        self._low = float(low)
+        self._high = float(high)
+
+    def sample(self, rng: random.Random, src: SiteId, dst: SiteId) -> float:
+        return rng.uniform(self._low, self._high)
+
+    @property
+    def mean(self) -> float:
+        return (self._low + self._high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"UniformDelay({self._low}, {self._high})"
+
+
+class LogNormalDelay(DelayModel):
+    """Latency from a log-normal distribution — the classic fit for WAN
+    round-trip times (most messages near the mode, a long right tail)."""
+
+    def __init__(self, mean: float = 1.0, sigma: float = 0.5) -> None:
+        if mean <= 0:
+            raise ConfigurationError(f"mean must be positive, got {mean}")
+        if sigma <= 0:
+            raise ConfigurationError(f"sigma must be positive, got {sigma}")
+        self._mean = float(mean)
+        self._sigma = float(sigma)
+        # E[lognormal(mu, sigma)] = exp(mu + sigma^2/2); solve for mu.
+        import math
+
+        self._mu = math.log(mean) - sigma * sigma / 2.0
+
+    def sample(self, rng: random.Random, src: SiteId, dst: SiteId) -> float:
+        return rng.lognormvariate(self._mu, self._sigma)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"LogNormalDelay(mean={self._mean}, sigma={self._sigma})"
+
+
+class ParetoDelay(DelayModel):
+    """Heavy-tailed latency (shifted Pareto): occasional extreme stragglers.
+
+    A stress model for the protocol's race windows — forwarded replies and
+    releases can be reordered arbitrarily far. ``alpha`` must exceed 1 so
+    the mean exists; smaller alpha = heavier tail.
+    """
+
+    def __init__(self, mean: float = 1.0, alpha: float = 2.5) -> None:
+        if mean <= 0:
+            raise ConfigurationError(f"mean must be positive, got {mean}")
+        if alpha <= 1.0:
+            raise ConfigurationError(
+                f"alpha must exceed 1 for a finite mean, got {alpha}"
+            )
+        self._mean = float(mean)
+        self._alpha = float(alpha)
+        # E[x_m * X] with X ~ Pareto(alpha) is x_m * alpha/(alpha-1).
+        self._scale = mean * (alpha - 1.0) / alpha
+
+    def sample(self, rng: random.Random, src: SiteId, dst: SiteId) -> float:
+        return self._scale * rng.paretovariate(self._alpha)
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"ParetoDelay(mean={self._mean}, alpha={self._alpha})"
+
+
+class ExponentialDelay(DelayModel):
+    """Latency drawn from a shifted exponential distribution.
+
+    A pure exponential can sample arbitrarily close to zero; the paper's
+    model requires positive delay, so the distribution is shifted by
+    ``floor`` and scaled to keep the requested mean.
+    """
+
+    def __init__(self, mean: float = 1.0, floor: float = 0.05) -> None:
+        if mean <= floor:
+            raise ConfigurationError(
+                f"mean ({mean}) must exceed floor ({floor})"
+            )
+        self._mean = float(mean)
+        self._floor = float(floor)
+
+    def sample(self, rng: random.Random, src: SiteId, dst: SiteId) -> float:
+        return self._floor + rng.expovariate(1.0 / (self._mean - self._floor))
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"ExponentialDelay(mean={self._mean}, floor={self._floor})"
+
+
+@dataclass
+class Envelope:
+    """A message in flight, as handed to the delivery callback."""
+
+    src: SiteId
+    dst: SiteId
+    payload: Any
+    sent_at: float
+    deliver_at: float
+    #: True when the payload is a piggyback bundle counted as one message.
+    piggybacked: bool = False
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters the metrics layer reads after a run."""
+
+    messages_sent: int = 0
+    messages_delivered: int = 0
+    messages_dropped: int = 0
+    total_latency: float = 0.0
+    by_type: Dict[str, int] = field(default_factory=dict)
+    #: Messages addressed to each site — the arbitration-load signal used
+    #: by experiment E10 (quorum constructions concentrate load very
+    #: differently: grids are balanced, tree roots and wheel hubs are
+    #: hotspots).
+    by_destination: Dict[SiteId, int] = field(default_factory=dict)
+
+    def record_send(self, type_name: str, dst: SiteId) -> None:
+        self.messages_sent += 1
+        self.by_type[type_name] = self.by_type.get(type_name, 0) + 1
+        self.by_destination[dst] = self.by_destination.get(dst, 0) + 1
+
+
+class Network:
+    """Fully connected FIFO network with pluggable per-message delays.
+
+    FIFO is enforced per ordered pair: the delivery time of each message is
+    clamped to be strictly after the previous delivery on the same channel.
+    This mirrors the common implementation of FIFO channels over a
+    non-FIFO transport (sequence numbers + reordering buffer) without
+    simulating the buffer itself.
+
+    The network knows nothing about protocol messages; it transports opaque
+    payloads and lets the scheduler own time. ``send`` returns the delivery
+    time, which the trace layer records.
+    """
+
+    #: Minimal spacing between consecutive deliveries on one channel.
+    FIFO_EPSILON = 1e-9
+
+    def __init__(
+        self,
+        delay_model: DelayModel,
+        rng: random.Random,
+        schedule: Callable[[float, Callable[[], None], str], Any],
+        now: Callable[[], float],
+    ) -> None:
+        self._delay_model = delay_model
+        self._rng = rng
+        self._schedule = schedule
+        self._now = now
+        self._last_delivery: Dict[Tuple[SiteId, SiteId], float] = {}
+        self._deliver_cb: Optional[Callable[[Envelope], None]] = None
+        self._crashed: Set[SiteId] = set()
+        self._severed: Set[Tuple[SiteId, SiteId]] = set()
+        self.stats = NetworkStats()
+
+    @property
+    def mean_delay(self) -> float:
+        """Mean one-way latency ``T`` of the configured delay model."""
+        return self._delay_model.mean
+
+    def on_deliver(self, callback: Callable[[Envelope], None]) -> None:
+        """Register the single delivery callback (set by the simulator)."""
+        self._deliver_cb = callback
+
+    # -- failure injection -------------------------------------------------
+
+    def crash(self, site: SiteId) -> None:
+        """Stop delivering to and accepting traffic from ``site``.
+
+        Messages already in flight toward a crashed site are dropped at
+        delivery time, modelling a fail-stop crash.
+        """
+        self._crashed.add(site)
+
+    def recover(self, site: SiteId) -> None:
+        """Allow ``site`` to communicate again (crash-recovery model)."""
+        self._crashed.discard(site)
+
+    def sever(self, a: SiteId, b: SiteId) -> None:
+        """Cut the bidirectional link between ``a`` and ``b``."""
+        self._severed.add((a, b))
+        self._severed.add((b, a))
+
+    def heal(self, a: SiteId, b: SiteId) -> None:
+        """Restore the link between ``a`` and ``b``."""
+        self._severed.discard((a, b))
+        self._severed.discard((b, a))
+
+    def is_crashed(self, site: SiteId) -> bool:
+        """True if ``site`` is currently crashed."""
+        return site in self._crashed
+
+    # -- transport ---------------------------------------------------------
+
+    def send(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        payload: Any,
+        type_name: str,
+        piggybacked: bool = False,
+    ) -> Optional[float]:
+        """Queue ``payload`` for FIFO delivery from ``src`` to ``dst``.
+
+        Returns the delivery time, or ``None`` when the message was dropped
+        because an endpoint is crashed or the link is severed. ``type_name``
+        feeds the per-type message counters; a piggyback bundle is counted
+        once under its combined name, following the paper's costing rule
+        (Section 5: a piggybacked control message counts as one message).
+        """
+        if self._deliver_cb is None:
+            raise SimulationError("network has no delivery callback installed")
+        if src == dst:
+            raise SimulationError(
+                "self-delivery must be handled locally by the node layer, "
+                f"site {src} tried to send {type_name} to itself"
+            )
+        if src in self._crashed or dst in self._crashed or (src, dst) in self._severed:
+            self.stats.messages_dropped += 1
+            return None
+
+        self.stats.record_send(type_name, dst)
+        now = self._now()
+        delay = self._delay_model.sample(self._rng, src, dst)
+        if delay <= 0:
+            raise SimulationError(f"delay model produced non-positive delay {delay}")
+        channel = (src, dst)
+        deliver_at = max(
+            now + delay,
+            self._last_delivery.get(channel, -1.0) + self.FIFO_EPSILON,
+        )
+        self._last_delivery[channel] = deliver_at
+        envelope = Envelope(
+            src=src,
+            dst=dst,
+            payload=payload,
+            sent_at=now,
+            deliver_at=deliver_at,
+            piggybacked=piggybacked,
+        )
+        self._schedule(deliver_at, lambda: self._deliver(envelope), type_name)
+        return deliver_at
+
+    def _deliver(self, envelope: Envelope) -> None:
+        """Hand a due envelope to the delivery callback unless dropped."""
+        if envelope.dst in self._crashed or envelope.src in self._crashed:
+            self.stats.messages_dropped += 1
+            return
+        if (envelope.src, envelope.dst) in self._severed:
+            self.stats.messages_dropped += 1
+            return
+        self.stats.messages_delivered += 1
+        self.stats.total_latency += envelope.deliver_at - envelope.sent_at
+        assert self._deliver_cb is not None
+        self._deliver_cb(envelope)

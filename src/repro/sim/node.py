@@ -1,0 +1,104 @@
+"""Node abstraction: a process bound to a simulator.
+
+A :class:`Node` is the unit the paper calls a *site*: a process plus the
+computer it runs on. Nodes interact with the world only through the narrow
+interface here — send a message, set a timer, read the clock — which keeps
+algorithm implementations free of simulator plumbing and makes them read
+like the paper's pseudo-code.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.simulator import Simulator
+
+SiteId = int
+
+
+class Node:
+    """Base class for simulated processes.
+
+    Subclasses override :meth:`on_message` (and optionally :meth:`on_start`,
+    :meth:`on_crash`, :meth:`on_recover`). The simulator wires the node in
+    via :meth:`bind`; until then the node is inert and sending raises.
+    """
+
+    def __init__(self, site_id: SiteId) -> None:
+        self.site_id = site_id
+        self._sim: Optional["Simulator"] = None
+        self.crashed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def bind(self, sim: "Simulator") -> None:
+        """Attach this node to ``sim``. Called once by the simulator."""
+        self._sim = sim
+
+    @property
+    def sim(self) -> "Simulator":
+        """The simulator this node runs in (raises if unbound)."""
+        if self._sim is None:
+            raise RuntimeError(f"node {self.site_id} is not bound to a simulator")
+        return self._sim
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    # -- messaging ---------------------------------------------------------
+
+    def send(self, dst: SiteId, message: Any, piggybacked: bool = False) -> None:
+        """Send ``message`` to site ``dst``.
+
+        Self-sends bypass the network (the paper charges no message cost
+        for a site consulting itself, e.g. a site that belongs to its own
+        quorum) and are delivered in the same instant via a zero-delay
+        event so handler re-entrancy is still impossible.
+        """
+        if self.crashed:
+            return
+        type_name = getattr(message, "type_name", type(message).__name__)
+        if dst == self.site_id:
+            self.sim.schedule(
+                0.0,
+                lambda: self.sim.deliver_local(self.site_id, message),
+                label=f"self:{type_name}",
+            )
+            return
+        self.sim.network.send(
+            self.site_id, dst, message, type_name, piggybacked=piggybacked
+        )
+
+    def set_timer(self, delay: float, action, label: str = "timer") -> Event:
+        """Schedule ``action`` to run after ``delay`` time units.
+
+        Returns the event handle, which may be cancelled (e.g. a failure
+        detector timeout refreshed by a heartbeat). Timer actions are
+        suppressed while the node is crashed.
+        """
+
+        def guarded() -> None:
+            if not self.crashed:
+                action()
+
+        return self.sim.schedule(delay, guarded, label=f"{self.site_id}:{label}")
+
+    # -- hooks for subclasses ----------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the simulation starts."""
+
+    def on_message(self, src: SiteId, message: Any) -> None:
+        """Called for every delivered message. Subclasses must override."""
+        raise NotImplementedError
+
+    def on_crash(self) -> None:
+        """Called when the failure injector crashes this node."""
+
+    def on_recover(self) -> None:
+        """Called when the failure injector recovers this node."""

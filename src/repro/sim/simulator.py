@@ -1,0 +1,183 @@
+"""The discrete-event simulator tying clock, network, and nodes together.
+
+Usage sketch::
+
+    sim = Simulator(seed=7, delay_model=ConstantDelay(1.0))
+    for i in range(N):
+        sim.add_node(MySite(i, ...))
+    sim.start()
+    sim.run(until=10_000)
+
+The simulator is deliberately small: it owns the clock and the event queue,
+delegates transport to :class:`repro.sim.network.Network`, and dispatches
+deliveries to :meth:`repro.sim.node.Node.on_message`. Determinism comes
+from the seeded RNG streams and the stable event tie-break; two simulators
+built with the same seed and the same construction order replay the exact
+same history.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.event import Event, EventQueue
+from repro.sim.network import DelayModel, Envelope, Network, UniformDelay
+from repro.sim.node import Node
+from repro.sim.rng import SeedSequence
+from repro.sim.trace import Trace
+
+SiteId = int
+
+
+class Simulator:
+    """Deterministic discrete-event simulator for message-passing systems."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        delay_model: Optional[DelayModel] = None,
+        trace: bool = False,
+        trace_capacity: Optional[int] = None,
+    ) -> None:
+        self.seeds = SeedSequence(seed)
+        self._queue = EventQueue()
+        self._now = 0.0
+        self._started = False
+        self.nodes: Dict[SiteId, Node] = {}
+        self.trace = Trace(enabled=trace, capacity=trace_capacity)
+        self.network = Network(
+            delay_model=delay_model or UniformDelay(0.5, 1.5),
+            rng=self.seeds.derive("network"),
+            schedule=self._schedule_at,
+            now=lambda: self._now,
+        )
+        self.network.on_deliver(self._dispatch)
+        #: Number of events processed so far (cheap progress/health metric).
+        self.events_processed = 0
+
+    # -- construction ------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Register ``node``; its ``site_id`` must be unique."""
+        if node.site_id in self.nodes:
+            raise SimulationError(f"duplicate site id {node.site_id}")
+        if self._started:
+            raise SimulationError("cannot add nodes after start()")
+        node.bind(self)
+        self.nodes[node.site_id] = node
+        return node
+
+    def start(self) -> None:
+        """Invoke every node's ``on_start`` hook. Idempotent."""
+        if self._started:
+            return
+        self._started = True
+        for node in self.nodes.values():
+            node.on_start()
+
+    # -- clock & scheduling --------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self._queue.push(self._now + delay, action, label)
+
+    def _schedule_at(self, time: float, action: Callable[[], None], label: str) -> Event:
+        """Absolute-time scheduling used by the network layer."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        return self._queue.push(time, action, label)
+
+    # -- delivery ------------------------------------------------------------
+
+    def _dispatch(self, envelope: Envelope) -> None:
+        """Deliver an envelope to its destination node."""
+        node = self.nodes.get(envelope.dst)
+        if node is None:
+            raise SimulationError(f"message addressed to unknown site {envelope.dst}")
+        if node.crashed:
+            self.network.stats.messages_dropped += 1
+            return
+        self.trace.record(self._now, "deliver", envelope.dst, envelope.payload)
+        node.on_message(envelope.src, envelope.payload)
+
+    def deliver_local(self, site: SiteId, message: Any) -> None:
+        """Deliver a self-addressed message (no network, no message cost)."""
+        node = self.nodes[site]
+        if node.crashed:
+            return
+        self.trace.record(self._now, "deliver-local", site, message)
+        node.on_message(site, message)
+
+    # -- failure injection -----------------------------------------------------
+
+    def crash(self, site: SiteId) -> None:
+        """Fail-stop ``site``: drop its traffic and silence its timers."""
+        node = self.nodes[site]
+        if node.crashed:
+            return
+        node.crashed = True
+        self.network.crash(site)
+        self.trace.record(self._now, "crash", site)
+        node.on_crash()
+
+    def recover(self, site: SiteId) -> None:
+        """Bring a crashed ``site`` back (crash-recovery model)."""
+        node = self.nodes[site]
+        if not node.crashed:
+            return
+        node.crashed = False
+        self.network.recover(site)
+        self.trace.record(self._now, "recover", site)
+        node.on_recover()
+
+    # -- main loop -------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Process one event. Returns False when the queue is empty."""
+        event = self._queue.pop()
+        if event is None:
+            return False
+        if event.time < self._now:
+            raise SimulationError("time went backwards")
+        self._now = event.time
+        self.events_processed += 1
+        event.action()
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Run until the event queue drains, ``until`` is reached, or
+        ``max_events`` further events have been processed.
+
+        ``until`` is inclusive: events scheduled exactly at ``until`` fire.
+        """
+        budget = max_events
+        while True:
+            next_time = self._queue.peek_time()
+            if next_time is None:
+                return
+            if until is not None and next_time > until:
+                self._now = until
+                return
+            if budget is not None:
+                if budget <= 0:
+                    return
+                budget -= 1
+            self.step()
+
+    def pending_events(self) -> int:
+        """Number of live events still queued."""
+        return len(self._queue)

@@ -1,0 +1,84 @@
+"""Structured event tracing for debugging and for the verification layer.
+
+A :class:`Trace` is an append-only log of :class:`TraceRecord` rows. The
+simulator writes message sends/deliveries and node lifecycle transitions;
+algorithms may add protocol-level annotations (CS enter/exit, yields,
+transfers honored). The verification layer replays the trace to check the
+paper's theorems; tests use :meth:`Trace.filter` to assert on specific
+protocol behaviours without poking at private algorithm state.
+
+Tracing every message of a long benchmark run would dominate memory, so the
+trace can be disabled (the default for benchmarks) while the cheap scalar
+counters in :class:`repro.sim.network.NetworkStats` stay on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    ``kind`` is a short machine-friendly tag (``send``, ``deliver``,
+    ``cs_enter``, ``cs_exit``, ``crash``, ...); ``site`` is the acting site;
+    ``detail`` carries kind-specific payload (usually the message).
+    """
+
+    time: float
+    kind: str
+    site: int
+    detail: Any = None
+
+    def __str__(self) -> str:  # pragma: no cover - debug convenience
+        return f"[{self.time:10.4f}] {self.kind:<10} site={self.site} {self.detail}"
+
+
+class Trace:
+    """Append-only in-memory trace with simple query helpers."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self._capacity = capacity
+        self._records: List[TraceRecord] = []
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def record(self, time: float, kind: str, site: int, detail: Any = None) -> None:
+        """Append a record (no-op when tracing is disabled or full)."""
+        if not self.enabled:
+            return
+        if self._capacity is not None and len(self._records) >= self._capacity:
+            self.dropped += 1
+            return
+        self._records.append(TraceRecord(time=time, kind=kind, site=site, detail=detail))
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        site: Optional[int] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Return records matching all provided criteria, in time order."""
+        out = []
+        for rec in self._records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if site is not None and rec.site != site:
+                continue
+            if predicate is not None and not predicate(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Render the trace (or its tail) as text for failure diagnostics."""
+        records = self._records if limit is None else self._records[-limit:]
+        return "\n".join(str(r) for r in records)

@@ -1,0 +1,25 @@
+"""Dynamic verification of the paper's theorems and protocol invariants."""
+
+from repro.verify.explore import ExplorationResult, build_world, explore
+from repro.verify.checker import (
+    check_arbiter_invariants,
+    check_quiescent,
+    lock_holders,
+)
+from repro.verify.invariants import (
+    check_mutual_exclusion,
+    check_progress,
+    check_sequential_per_site,
+)
+
+__all__ = [
+    "ExplorationResult",
+    "build_world",
+    "check_arbiter_invariants",
+    "check_mutual_exclusion",
+    "check_progress",
+    "check_quiescent",
+    "check_sequential_per_site",
+    "explore",
+    "lock_holders",
+]

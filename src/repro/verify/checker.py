@@ -1,0 +1,78 @@
+"""Protocol-state sanity checks for the proposed algorithm.
+
+Complements the black-box interval checks in
+:mod:`repro.verify.invariants` with white-box assertions over the final
+(or any quiescent) state of a fleet of
+:class:`~repro.core.site.CaoSinghalSite` instances:
+
+* a free arbiter has an empty request queue (A.2's granting invariant);
+* at quiescence no arbiter is locked and no transfer/inquire is pending;
+* the ``lock`` of every arbiter names a site that actually considers
+  itself a requester of that arbiter.
+
+The stress tests call :func:`check_quiescent` after every drained run, so
+state leaks (a queue entry that was never served, a dangling lock) fail
+loudly even when the timing metrics look plausible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable
+
+from repro.core.site import CaoSinghalSite
+from repro.errors import ProtocolError
+
+
+def check_arbiter_invariants(sites: Iterable[CaoSinghalSite]) -> None:
+    """Structural invariants that must hold at *any* instant."""
+    for site in sites:
+        arb = site.arbiter
+        if arb.is_free and len(arb.req_queue) > 0:
+            raise ProtocolError(
+                f"arbiter {site.site_id} is free but queues "
+                f"{len(arb.req_queue)} request(s)"
+            )
+        seen = set()
+        for entry in arb.req_queue:
+            if entry.site in seen:
+                raise ProtocolError(
+                    f"arbiter {site.site_id} queues two requests from "
+                    f"site {entry.site}"
+                )
+            seen.add(entry.site)
+        if not arb.is_free and arb.lock.site in seen:
+            raise ProtocolError(
+                f"arbiter {site.site_id} queues a request from its own "
+                f"lock holder {arb.lock.site}"
+            )
+
+
+def check_quiescent(sites: Iterable[CaoSinghalSite]) -> None:
+    """Invariants of a fully drained system (no work left anywhere)."""
+    sites = list(sites)
+    check_arbiter_invariants(sites)
+    for site in sites:
+        if site.has_work:
+            raise ProtocolError(f"site {site.site_id} still has work queued")
+        arb = site.arbiter
+        if not arb.is_free:
+            raise ProtocolError(
+                f"arbiter {site.site_id} still locked by {arb.lock} at quiescence"
+            )
+        if len(arb.req_queue) > 0:
+            raise ProtocolError(
+                f"arbiter {site.site_id} still queues requests at quiescence"
+            )
+        if site._pending_releases:
+            raise ProtocolError(
+                f"arbiter {site.site_id} holds buffered releases at quiescence"
+            )
+        if site.req.tran_stack:
+            raise ProtocolError(
+                f"site {site.site_id} holds transfers at quiescence"
+            )
+
+
+def lock_holders(sites: Iterable[CaoSinghalSite]) -> Dict[int, object]:
+    """Map arbiter id -> current lock (diagnostic helper for tests)."""
+    return {s.site_id: s.arbiter.lock for s in sites if not s.arbiter.is_free}

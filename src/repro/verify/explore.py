@@ -1,0 +1,339 @@
+"""Exhaustive interleaving exploration (bounded model checking).
+
+The simulator replays *one* schedule per seed; this module explores **every
+message/timer interleaving** of a small configuration of
+:class:`~repro.core.site.CaoSinghalSite` processes and checks, on every
+path:
+
+* **safety** — at most one site is ever inside the CS (Theorem 1), on
+  every prefix of every interleaving;
+* **liveness** — every terminal state (no deliverable message, no pending
+  timer) has served every submitted request with all arbiters free
+  (Theorems 2 and 3: a terminal state with waiting requests *is* a
+  deadlock).
+
+The abstraction is sound for the paper's model: per-channel FIFO order is
+preserved (only channel heads are deliverable), while everything else —
+relative speeds of channels, CS execution time, timer firings — is left
+completely free, which over-approximates every possible assignment of
+message delays and CS durations. A property that holds here holds for
+*all* delay models, not just sampled ones.
+
+State deduplication (structural fingerprints) keeps the exploration DAG
+small enough for worlds of up to ~5 sites and a handful of requests; the
+randomized stress and property tests cover the large configurations. The
+explorer earned its keep twice in this repo's history: reverting the C.2
+handover-inquire fix in ``repro.core.site`` makes a 5-site exploration
+deadlock (``tests/test_paper_gap.py``), and the cross-tenure transfer
+race that motivated the tenure-epoch extension was *discovered* by this
+module — a 32-action interleaving no randomized run had produced (see
+DESIGN.md, "Cross-tenure relics need tenure epochs").
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.site import CaoSinghalSite
+from repro.errors import DeadlockError, MutualExclusionViolation, ProtocolError
+from repro.mutex.base import RunListener
+from repro.sim.trace import Trace
+
+
+class _FakeTimer:
+    """Symbolic timer: (site id, method name), rebindable under deepcopy.
+
+    A closure-based timer would keep pointing at the *original* site after
+    ``copy.deepcopy`` branches a world (functions are not deep-copied), so
+    timers store the target symbolically and are resolved against the
+    branch's own site list when fired.
+    """
+
+    __slots__ = ("site_id", "method", "label", "cancelled")
+
+    def __init__(self, site_id: int, method: str, label: str) -> None:
+        self.site_id = site_id
+        self.method = method
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def fire(self, world: "_World") -> None:
+        getattr(world.sites[self.site_id], self.method)()
+
+
+class _FakeSim:
+    """The minimal simulator surface a site touches, timeless.
+
+    Message sends and timers never reach it (the explorer's site subclass
+    overrides both); only the trace/now properties remain.
+    """
+
+    def __init__(self, world: "_World") -> None:
+        self.world = world
+        self.trace = Trace(enabled=False)
+        self.now = 0.0
+
+    def schedule(self, delay: float, action, label: str = ""):  # pragma: no cover
+        raise AssertionError("explorer sites register timers symbolically")
+
+    def deliver_local(self, site: int, message) -> None:  # pragma: no cover
+        raise AssertionError("sends are intercepted; deliver_local unused")
+
+
+class _ExploreSite(CaoSinghalSite):
+    """Site whose sends go straight into the world's FIFO channels.
+
+    Implemented as an override (not a monkeypatched closure) so that
+    ``copy.deepcopy`` of a world rebinds everything consistently —
+    a closure would keep writing into the original world's channels.
+    """
+
+    def send(self, dst, message, piggybacked: bool = False) -> None:
+        world = self.sim.world  # type: ignore[attr-defined]
+        world.channels.setdefault((self.site_id, dst), deque()).append(message)
+
+    def set_timer(self, delay, action, label: str = "timer") -> _FakeTimer:
+        world = self.sim.world  # type: ignore[attr-defined]
+        timer = _FakeTimer(self.site_id, action.__name__, label)
+        world.timers.append(timer)
+        return timer
+
+
+class _SafetyListener(RunListener):
+    """Counts CS occupancy online; any overlap is an immediate violation."""
+
+    def __init__(self) -> None:
+        self.in_cs = 0
+        self.served = 0
+
+    def on_enter(self, site, time) -> None:
+        self.in_cs += 1
+        if self.in_cs > 1:
+            raise MutualExclusionViolation(
+                f"{self.in_cs} sites in the CS simultaneously"
+            )
+
+    def on_exit(self, site, time) -> None:
+        self.in_cs -= 1
+        self.served += 1
+
+
+@dataclass
+class _World:
+    """One explored state: sites + in-flight channels + pending timers."""
+
+    sites: List[CaoSinghalSite] = field(default_factory=list)
+    #: per-ordered-pair FIFO of undelivered messages
+    channels: Dict[Tuple[int, int], deque] = field(default_factory=dict)
+    timers: List[_FakeTimer] = field(default_factory=list)
+    listener: _SafetyListener = field(default_factory=_SafetyListener)
+
+    def enabled_actions(self) -> List[Tuple[str, object]]:
+        actions: List[Tuple[str, object]] = []
+        for channel, queue in sorted(self.channels.items()):
+            if queue:
+                actions.append(("deliver", channel))
+        for idx, timer in enumerate(self.timers):
+            if not timer.cancelled:
+                actions.append(("timer", idx))
+        return actions
+
+    def apply(self, action: Tuple[str, object]) -> None:
+        kind, arg = action
+        if kind == "deliver":
+            src, dst = arg  # type: ignore[misc]
+            message = self.channels[arg].popleft()
+            self.sites[dst].on_message(src, message)
+        else:
+            timer = self.timers.pop(arg)  # type: ignore[arg-type]
+            if not timer.cancelled:
+                timer.fire(self)
+
+    def fingerprint(self) -> Tuple:
+        """Hashable digest of the full protocol state, for deduplication.
+
+        Different interleavings frequently converge to identical states;
+        hashing them collapses the exploration DAG and keeps the state
+        count polynomial-ish for the configurations we check.
+        """
+        site_parts = []
+        for s in self.sites:
+            req = s.req
+            site_parts.append(
+                (
+                    s.state.value,
+                    s.backlog,
+                    s.completed,
+                    s.max_seq_seen,
+                    req.priority,
+                    tuple(sorted(req.replied.items())),
+                    tuple(sorted(req.grant_epoch.items())),
+                    req.failed,
+                    tuple(sorted(req.inq_pending.items())),
+                    tuple(req.tran_stack),
+                    s.arbiter.lock,
+                    s.arbiter.epoch,
+                    tuple(s.arbiter.req_queue),
+                    tuple(sorted(s._pending_releases.items())),
+                )
+            )
+        channel_parts = tuple(
+            (channel, tuple(queue))
+            for channel, queue in sorted(self.channels.items())
+            if queue
+        )
+        timer_parts = tuple(
+            (t.site_id, t.method)
+            for t in self.timers
+            if not t.cancelled
+        )
+        return (tuple(site_parts), channel_parts, timer_parts, self.listener.in_cs)
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of an exhaustive exploration."""
+
+    states_explored: int
+    terminal_states: int
+    max_depth: int
+    complete: bool  # False when the state budget was exhausted
+
+
+class CounterexampleFound(Exception):
+    """Wraps a property failure together with the action path reaching it.
+
+    ``path`` is the exact sequence of deliver/timer actions from the
+    initial world; replaying it through :meth:`_World.apply` reproduces
+    the failure deterministically (used to shrink and diagnose explorer
+    findings).
+    """
+
+    def __init__(self, cause: Exception, path: List[Tuple[str, object]]) -> None:
+        super().__init__(f"{cause} (after {len(path)} actions)")
+        self.cause = cause
+        self.path = path
+
+
+def build_world(
+    quorums: Sequence[Iterable[int]],
+    requests_per_site: Optional[Sequence[int]] = None,
+    enable_transfer: bool = True,
+) -> _World:
+    """Construct the initial world: sites wired to intercepted channels."""
+    world = _World()
+    fake_sim = _FakeSim(world)
+    n = len(quorums)
+    requests = list(requests_per_site or [1] * n)
+    if len(requests) != n:
+        raise ProtocolError("requests_per_site must match the site count")
+
+    for i, quorum in enumerate(quorums):
+        site = _ExploreSite(
+            i,
+            quorum,
+            cs_duration=1.0,  # becomes a free-fire timer in the explorer
+            listener=world.listener,
+            enable_transfer=enable_transfer,
+        )
+        site.bind(fake_sim)  # type: ignore[arg-type]
+        world.sites.append(site)
+
+    for site, count in zip(world.sites, requests):
+        for _ in range(count):
+            site.submit_request()
+    return world
+
+
+def explore(
+    quorums: Sequence[Iterable[int]],
+    requests_per_site: Optional[Sequence[int]] = None,
+    enable_transfer: bool = True,
+    max_states: int = 100_000,
+    keep_paths: bool = False,
+) -> ExplorationResult:
+    """Explore every interleaving; raise on any safety or liveness failure.
+
+    Raises :class:`MutualExclusionViolation` the moment any interleaving
+    overlaps two CS executions, and :class:`DeadlockError` for any
+    terminal state with unserved requests or residual arbiter state.
+    With ``keep_paths=True`` any failure is wrapped in
+    :class:`CounterexampleFound` carrying the exact action sequence (uses
+    more memory; meant for diagnosing a failure found without paths).
+    """
+    initial = build_world(quorums, requests_per_site, enable_transfer)
+    expected = sum(requests_per_site or [1] * len(quorums))
+
+    empty_path: List[Tuple[str, object]] = []
+    stack: List[Tuple[_World, int, List[Tuple[str, object]]]] = [
+        (initial, 0, empty_path)
+    ]
+    seen = {initial.fingerprint()}
+    states = 0
+    terminals = 0
+    max_depth = 0
+    while stack:
+        world, depth, path = stack.pop()
+        states += 1
+        max_depth = max(max_depth, depth)
+        if states > max_states:
+            return ExplorationResult(
+                states_explored=states,
+                terminal_states=terminals,
+                max_depth=max_depth,
+                complete=False,
+            )
+        actions = world.enabled_actions()
+        if not actions:
+            terminals += 1
+            try:
+                _check_terminal(world, expected)
+            except Exception as cause:
+                if keep_paths:
+                    raise CounterexampleFound(cause, path) from cause
+                raise
+            continue
+        for action in actions:
+            branch = copy.deepcopy(world)
+            try:
+                branch.apply(action)
+            except Exception as cause:
+                if keep_paths:
+                    raise CounterexampleFound(cause, path + [action]) from cause
+                raise
+            digest = branch.fingerprint()
+            if digest in seen:
+                continue  # another interleaving already reached this state
+            seen.add(digest)
+            stack.append(
+                (branch, depth + 1, path + [action] if keep_paths else empty_path)
+            )
+    return ExplorationResult(
+        states_explored=states,
+        terminal_states=terminals,
+        max_depth=max_depth,
+        complete=True,
+    )
+
+
+def _check_terminal(world: _World, expected: int) -> None:
+    if world.listener.in_cs != 0:
+        raise DeadlockError("terminal state with a site stuck inside the CS")
+    if world.listener.served != expected:
+        raise DeadlockError(
+            f"terminal state served {world.listener.served} of {expected} "
+            "requests — an interleaving deadlocks the protocol"
+        )
+    for site in world.sites:
+        if site.has_work:
+            raise DeadlockError(f"site {site.site_id} still has queued work")
+        if not site.arbiter.is_free or len(site.arbiter.req_queue):
+            raise DeadlockError(
+                f"arbiter {site.site_id} holds residual state at termination"
+            )

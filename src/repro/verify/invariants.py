@@ -1,0 +1,81 @@
+"""Dynamic checks of the paper's three theorems.
+
+* Theorem 1 (mutual exclusion): no two CS intervals overlap —
+  :func:`check_mutual_exclusion` scans the recorded intervals.
+* Theorem 2 (deadlock freedom): the simulation never goes quiet while
+  requests are outstanding — :func:`check_progress`.
+* Theorem 3 (starvation freedom): every request issued sufficiently before
+  the end of the run is eventually served — also :func:`check_progress`
+  via the ``horizon`` argument.
+
+These checks run after (or during) every simulation in the test suite and
+the experiment harness; a violation raises instead of silently producing
+numbers from a broken run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import DeadlockError, MutualExclusionViolation
+from repro.metrics.collector import CSRecord
+
+
+def check_mutual_exclusion(records: Sequence[CSRecord]) -> None:
+    """Raise when two completed CS intervals overlap.
+
+    Entry/exit at the same instant counts as a violation too: the paper's
+    minimum synchronization delay is one message latency, which is
+    strictly positive in our delay models.
+    """
+    done = sorted(
+        (r for r in records if r.complete), key=lambda r: r.enter_time
+    )
+    for prev, nxt in zip(done, done[1:]):
+        assert prev.exit_time is not None and nxt.enter_time is not None
+        if nxt.enter_time < prev.exit_time:
+            raise MutualExclusionViolation(
+                f"site {nxt.site} entered at {nxt.enter_time:.6f} while "
+                f"site {prev.site} held the CS until {prev.exit_time:.6f}"
+            )
+
+
+def check_progress(
+    records: Sequence[CSRecord],
+    horizon: Optional[float] = None,
+    context: str = "",
+) -> None:
+    """Raise when issued requests were never served.
+
+    With ``horizon`` set, only requests issued at or before it must have
+    completed (requests issued near the end of a finite run legitimately
+    remain in flight). With ``horizon=None`` every request must be done —
+    the right check when the event queue drained naturally.
+    """
+    stuck = [
+        r
+        for r in records
+        if not r.complete and (horizon is None or r.request_time <= horizon)
+    ]
+    if stuck:
+        sites = sorted({r.site for r in stuck})
+        raise DeadlockError(
+            f"{len(stuck)} request(s) never served (sites {sites})"
+            + (f" [{context}]" if context else "")
+        )
+
+
+def check_sequential_per_site(records: Sequence[CSRecord]) -> None:
+    """Raise when one site's executions overlap (model: one at a time)."""
+    by_site: dict = {}
+    for r in records:
+        if r.complete:
+            by_site.setdefault(r.site, []).append(r)
+    for site, rows in by_site.items():
+        rows.sort(key=lambda r: r.enter_time)
+        for prev, nxt in zip(rows, rows[1:]):
+            if nxt.request_time < prev.exit_time:
+                raise MutualExclusionViolation(
+                    f"site {site} issued a request at {nxt.request_time:.6f} "
+                    f"before exiting its previous CS at {prev.exit_time:.6f}"
+                )

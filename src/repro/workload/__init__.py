@@ -1,0 +1,29 @@
+"""Workload generation: arrival processes, drivers, and named scenarios."""
+
+from repro.workload.arrivals import (
+    ArrivalProcess,
+    BurstArrivals,
+    PeriodicArrivals,
+    PoissonArrivals,
+)
+from repro.workload.driver import (
+    OpenLoopWorkload,
+    SaturationWorkload,
+    StaggeredSingleShot,
+    Workload,
+)
+from repro.workload.scenarios import heavy_load, light_load, moderate_load
+
+__all__ = [
+    "ArrivalProcess",
+    "BurstArrivals",
+    "OpenLoopWorkload",
+    "PeriodicArrivals",
+    "PoissonArrivals",
+    "SaturationWorkload",
+    "StaggeredSingleShot",
+    "Workload",
+    "heavy_load",
+    "light_load",
+    "moderate_load",
+]

@@ -1,0 +1,112 @@
+"""Arrival processes for CS request workloads.
+
+The paper analyses two regimes:
+
+* **light load** — contention is rare; requests arrive so sparsely that a
+  site usually finds the system idle (Section 5.1). Modelled with a
+  low-rate Poisson process per site.
+* **heavy load** — every site always has a pending request (Section 5.2).
+  Modelled with a closed loop: each site re-submits immediately, keeping a
+  standing backlog.
+
+An :class:`ArrivalProcess` turns a per-site RNG into a generator of
+absolute submission times; the driver materializes them as simulator
+events.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+
+
+class ArrivalProcess(ABC):
+    """Generates one site's request submission times up to a horizon."""
+
+    @abstractmethod
+    def times(self, rng: random.Random, horizon: float) -> Iterator[float]:
+        """Yield strictly increasing submission times in ``(0, horizon]``."""
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at ``rate`` requests per time unit per site."""
+
+    def __init__(self, rate: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be positive, got {rate}")
+        self.rate = rate
+
+    def times(self, rng: random.Random, horizon: float) -> Iterator[float]:
+        t = 0.0
+        while True:
+            t += rng.expovariate(self.rate)
+            if t > horizon:
+                return
+            yield t
+
+    def __repr__(self) -> str:
+        return f"PoissonArrivals(rate={self.rate})"
+
+
+class PeriodicArrivals(ArrivalProcess):
+    """Deterministic arrivals every ``period`` time units, with ``offset``.
+
+    Useful in tests where exact arrival times must be controlled, and for
+    adversarial synchronized-burst scenarios (every site requesting at the
+    same instant maximizes contention and deadlock pressure).
+    """
+
+    def __init__(self, period: float, offset: float = 0.0) -> None:
+        if period <= 0:
+            raise ConfigurationError(f"period must be positive, got {period}")
+        if offset < 0:
+            raise ConfigurationError(f"offset must be >= 0, got {offset}")
+        self.period = period
+        self.offset = offset
+
+    def times(self, rng: random.Random, horizon: float) -> Iterator[float]:
+        t = self.offset if self.offset > 0 else self.period
+        while t <= horizon:
+            yield t
+            t += self.period
+
+    def __repr__(self) -> str:
+        return f"PeriodicArrivals(period={self.period}, offset={self.offset})"
+
+
+class BurstArrivals(ArrivalProcess):
+    """Synchronized bursts: ``burst_size`` requests at each burst instant.
+
+    Stresses the inquire/fail/yield deadlock-avoidance machinery: every
+    site floods its quorum at the same moment, maximizing priority
+    inversions.
+    """
+
+    def __init__(self, interval: float, burst_size: int = 1, jitter: float = 0.0) -> None:
+        if interval <= 0:
+            raise ConfigurationError(f"interval must be positive, got {interval}")
+        if burst_size < 1:
+            raise ConfigurationError(f"burst_size must be >= 1, got {burst_size}")
+        if jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {jitter}")
+        self.interval = interval
+        self.burst_size = burst_size
+        self.jitter = jitter
+
+    def times(self, rng: random.Random, horizon: float) -> Iterator[float]:
+        t = self.interval
+        while t <= horizon:
+            for _ in range(self.burst_size):
+                jittered = t + (rng.uniform(0, self.jitter) if self.jitter else 0.0)
+                if jittered <= horizon:
+                    yield jittered
+            t += self.interval
+
+    def __repr__(self) -> str:
+        return (
+            f"BurstArrivals(interval={self.interval}, "
+            f"burst_size={self.burst_size}, jitter={self.jitter})"
+        )

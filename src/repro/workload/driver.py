@@ -1,0 +1,93 @@
+"""Workload drivers: turn arrival processes into simulator events.
+
+Two driver shapes cover the paper's regimes:
+
+* :class:`OpenLoopWorkload` — pre-schedules arrivals from an
+  :class:`~repro.workload.arrivals.ArrivalProcess` per site (light to
+  moderate load; the offered load is independent of service times).
+* :class:`SaturationWorkload` — gives every site a fixed budget of
+  back-to-back requests (heavy load; a site always has a pending request
+  until its budget is exhausted, after which the run drains naturally so
+  progress can be verified exactly).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Sequence
+
+from repro.errors import ConfigurationError
+from repro.mutex.base import MutexSite
+from repro.sim.simulator import Simulator
+from repro.workload.arrivals import ArrivalProcess
+
+
+class Workload(ABC):
+    """Installs CS request submissions into a simulator."""
+
+    @abstractmethod
+    def install(self, sim: Simulator, sites: Sequence[MutexSite]) -> int:
+        """Schedule all submissions; returns the number of requests."""
+
+
+class SaturationWorkload(Workload):
+    """Heavy load: every site submits ``requests_per_site`` back to back.
+
+    All requests are submitted at time zero; the per-site backlog in
+    :class:`~repro.mutex.base.MutexSite` serializes them, so each site
+    always has a pending request until its budget runs out — the paper's
+    heavy-load regime.
+    """
+
+    def __init__(self, requests_per_site: int) -> None:
+        if requests_per_site < 1:
+            raise ConfigurationError(
+                f"requests_per_site must be >= 1, got {requests_per_site}"
+            )
+        self.requests_per_site = requests_per_site
+
+    def install(self, sim: Simulator, sites: Sequence[MutexSite]) -> int:
+        for site in sites:
+            for _ in range(self.requests_per_site):
+                sim.schedule(0.0, site.submit_request, label=f"{site.site_id}:submit")
+        return self.requests_per_site * len(sites)
+
+    def __repr__(self) -> str:
+        return f"SaturationWorkload(requests_per_site={self.requests_per_site})"
+
+
+class OpenLoopWorkload(Workload):
+    """Arrivals from a stochastic process, independent per site."""
+
+    def __init__(self, arrivals: ArrivalProcess, horizon: float) -> None:
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be positive, got {horizon}")
+        self.arrivals = arrivals
+        self.horizon = horizon
+
+    def install(self, sim: Simulator, sites: Sequence[MutexSite]) -> int:
+        total = 0
+        for site in sites:
+            rng = sim.seeds.derive(f"arrivals/{site.site_id}")
+            for t in self.arrivals.times(rng, self.horizon):
+                sim.schedule(t, site.submit_request, label=f"{site.site_id}:submit")
+                total += 1
+        return total
+
+    def __repr__(self) -> str:
+        return f"OpenLoopWorkload({self.arrivals!r}, horizon={self.horizon})"
+
+
+class StaggeredSingleShot(Workload):
+    """Each site submits exactly once at a chosen time (tests/examples)."""
+
+    def __init__(self, submit_times: Dict[int, float]) -> None:
+        self.submit_times = dict(submit_times)
+
+    def install(self, sim: Simulator, sites: Sequence[MutexSite]) -> int:
+        by_id = {s.site_id: s for s in sites}
+        for site_id, t in self.submit_times.items():
+            if site_id not in by_id:
+                raise ConfigurationError(f"no site {site_id} in this run")
+            sim.schedule(t, by_id[site_id].submit_request, label=f"{site_id}:submit")
+        return len(self.submit_times)

@@ -1,0 +1,32 @@
+"""Named workload scenarios used across experiments and examples.
+
+The paper's evaluation talks about "light load" and "heavy load"; these
+helpers pin down what that means operationally so every experiment uses
+identical definitions.
+"""
+
+from __future__ import annotations
+
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.driver import OpenLoopWorkload, SaturationWorkload, Workload
+
+
+def light_load(horizon: float = 2000.0, rate: float = 0.002) -> Workload:
+    """Section 5.1's regime: contention is rare.
+
+    With the default mean message delay ``T = 1`` and CS time ``E << T``,
+    a per-site rate of 0.002 requests per time unit keeps system-wide
+    utilization far below 1, so requests almost always find the system
+    idle.
+    """
+    return OpenLoopWorkload(PoissonArrivals(rate), horizon=horizon)
+
+
+def moderate_load(horizon: float = 1000.0, rate: float = 0.02) -> Workload:
+    """In-between regime for the load-sweep figure (E8)."""
+    return OpenLoopWorkload(PoissonArrivals(rate), horizon=horizon)
+
+
+def heavy_load(requests_per_site: int = 30) -> Workload:
+    """Section 5.2's regime: every site always has a pending request."""
+    return SaturationWorkload(requests_per_site=requests_per_site)

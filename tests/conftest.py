@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunConfig, RunResult, run_mutex
+from repro.sim.network import ConstantDelay
+from repro.workload.driver import SaturationWorkload
+
+
+def heavy_run(
+    algorithm: str,
+    n_sites: int = 9,
+    quorum: str | None = None,
+    seed: int = 0,
+    requests_per_site: int = 8,
+    cs_duration: float = 0.1,
+    delay_model=None,
+) -> RunResult:
+    """Run a verified heavy-load simulation (shared across test modules)."""
+    return run_mutex(
+        RunConfig(
+            algorithm=algorithm,
+            n_sites=n_sites,
+            quorum=quorum,
+            seed=seed,
+            delay_model=delay_model or ConstantDelay(1.0),
+            cs_duration=cs_duration,
+            workload=SaturationWorkload(requests_per_site),
+        )
+    )
+
+
+@pytest.fixture
+def run_heavy():
+    """Fixture exposing :func:`heavy_run`."""
+    return heavy_run

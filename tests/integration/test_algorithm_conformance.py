@@ -1,0 +1,99 @@
+"""Integration: every algorithm under every supported regime.
+
+These runs go through the full stack (registry → simulator → workload →
+metrics → verification) and check the paper-level quantitative claims that
+the unit tests only touch in isolation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunConfig, run_mutex
+from repro.mutex.registry import algorithm_names
+from repro.sim.network import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.workload.arrivals import BurstArrivals, PoissonArrivals
+from repro.workload.driver import OpenLoopWorkload, SaturationWorkload
+
+QUORUM_ALGOS = {"cao-singhal", "cao-singhal-no-transfer", "maekawa"}
+ALL = algorithm_names()
+
+
+def config(algorithm, **kw):
+    defaults = dict(
+        algorithm=algorithm,
+        n_sites=8,
+        quorum="grid" if algorithm in QUORUM_ALGOS else None,
+        seed=3,
+        delay_model=ConstantDelay(1.0),
+        cs_duration=0.1,
+        workload=SaturationWorkload(6),
+    )
+    defaults.update(kw)
+    return RunConfig(**defaults)
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+@pytest.mark.parametrize(
+    "delay",
+    [ConstantDelay(1.0), UniformDelay(0.3, 1.7), ExponentialDelay(1.0)],
+    ids=["constant", "uniform", "exponential"],
+)
+def test_saturation_under_all_delay_models(algorithm, delay):
+    result = run_mutex(config(algorithm, delay_model=delay))
+    assert result.summary.unserved == 0
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+def test_burst_workload(algorithm):
+    result = run_mutex(
+        config(
+            algorithm,
+            workload=OpenLoopWorkload(BurstArrivals(8.0, burst_size=2), 40.0),
+            delay_model=ExponentialDelay(1.0),
+        )
+    )
+    assert result.summary.unserved == 0
+
+
+@pytest.mark.parametrize("algorithm", ALL)
+def test_poisson_moderate_load(algorithm):
+    result = run_mutex(
+        config(
+            algorithm,
+            workload=OpenLoopWorkload(PoissonArrivals(0.05), 300.0),
+            delay_model=UniformDelay(0.5, 1.5),
+        )
+    )
+    assert result.summary.unserved == 0
+    assert result.summary.completed > 0
+
+
+@pytest.mark.parametrize("quorum", ["grid", "tree", "majority", "hierarchical",
+                                    "wheel", "grid-set", "rst", "singleton"])
+def test_proposed_algorithm_over_every_construction(quorum):
+    result = run_mutex(
+        config("cao-singhal", quorum=quorum, delay_model=ExponentialDelay(1.0))
+    )
+    assert result.summary.unserved == 0
+    assert result.summary.fairness > 0.9
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 13, 20, 30])
+def test_proposed_algorithm_scales_with_n(n):
+    result = run_mutex(
+        config("cao-singhal", n_sites=n, workload=SaturationWorkload(4))
+    )
+    assert result.summary.completed == 4 * n
+
+
+def test_determinism_of_full_runs():
+    # Random delays: the seed is the only source of variation.
+    delay = UniformDelay(0.4, 1.6)
+    a = run_mutex(config("cao-singhal", seed=9, delay_model=delay)).summary
+    b = run_mutex(config("cao-singhal", seed=9, delay_model=delay)).summary
+    assert a.messages_sent == b.messages_sent
+    assert a.duration == b.duration
+    assert a.sync_delay.mean == b.sync_delay.mean
+    c = run_mutex(config("cao-singhal", seed=10, delay_model=delay)).summary
+    assert (c.duration, c.messages_sent) != (a.duration, a.messages_sent)

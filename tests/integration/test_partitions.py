@@ -1,0 +1,108 @@
+"""Integration: network partitions — quorum safety and detector healing.
+
+The quorum intersection property gives partition *safety* for free: two
+disconnected halves cannot both assemble quorums, so at most one side
+keeps serving. The heartbeat detector turns the silent links into
+(symmetric) suspicions; when the partition heals, the first messages
+through the restored links refute the suspicions and both sides
+re-integrate — without any site having crashed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ft.recovery import MonitoredSite
+from repro.metrics.collector import MetricsCollector
+from repro.quorums.registry import make_quorum_system
+from repro.sim.network import ConstantDelay
+from repro.sim.simulator import Simulator
+from repro.verify.invariants import check_mutual_exclusion
+
+
+def build(n=9, quorum="majority", seed=0, cs=0.2):
+    qs = make_quorum_system(quorum, n)
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(1.0))
+    col = MetricsCollector()
+    sites = [
+        MonitoredSite(
+            i, qs, cs_duration=cs, listener=col,
+            hb_interval=2.0, hb_timeout=6.0, hb_lifetime=400.0,
+        )
+        for i in range(n)
+    ]
+    for s in sites:
+        sim.add_node(s)
+    return sim, sites, col
+
+
+def partition(sim, side_a, side_b):
+    for a in side_a:
+        for b in side_b:
+            sim.network.sever(a, b)
+
+
+def heal(sim, side_a, side_b):
+    for a in side_a:
+        for b in side_b:
+            sim.network.heal(a, b)
+
+
+def test_minority_side_blocks_majority_side_serves():
+    sim, sites, col = build(n=9, quorum="majority", seed=1)
+    majority_side = [0, 1, 2, 3, 4]
+    minority_side = [5, 6, 7, 8]
+    sim.schedule(0.0, lambda: partition(sim, majority_side, minority_side))
+    # Both sides request after the split is detected.
+    for s in sites:
+        sim.schedule(30.0, s.submit_request)
+    sim.start()
+    sim.run(until=120.0)
+    check_mutual_exclusion(col.records)
+    served = {r.site for r in col.records if r.complete}
+    assert set(majority_side) <= served
+    assert not (served & set(minority_side))
+    # The minority knows it is blocked rather than hanging silently.
+    for m in minority_side:
+        assert sites[m].inaccessible
+
+
+def test_partition_heals_and_minority_recovers():
+    sim, sites, col = build(n=9, quorum="majority", seed=2)
+    side_a = [0, 1, 2, 3, 4]
+    side_b = [5, 6, 7, 8]
+    sim.schedule(0.0, lambda: partition(sim, side_a, side_b))
+    for s in sites:
+        sim.schedule(30.0, s.submit_request)
+    sim.schedule(120.0, lambda: heal(sim, side_a, side_b))
+    sim.start()
+    sim.run(until=500.0)
+    check_mutual_exclusion(col.records)
+    # After healing, every request (including the minority's parked ones)
+    # completes and all suspicions are withdrawn.
+    assert all(r.complete for r in col.records), [
+        r.site for r in col.records if not r.complete
+    ]
+    for s in sites:
+        assert not s.monitor.suspected
+        assert not s.known_failed
+
+
+def test_tree_quorums_at_most_one_side_constructs():
+    """With tree quorums the serving side is whichever can still build a
+    root-substituted path structure — never both (AA intersection)."""
+    sim, sites, col = build(n=7, quorum="tree", seed=3)
+    side_a = [0, 1, 3, 4]  # root's left subtree plus root
+    side_b = [2, 5, 6]     # right subtree
+    sim.schedule(0.0, lambda: partition(sim, side_a, side_b))
+    for s in sites:
+        sim.schedule(30.0, s.submit_request)
+    sim.start()
+    sim.run(until=150.0)
+    check_mutual_exclusion(col.records)
+    served_sides = {
+        ("a" if r.site in side_a else "b")
+        for r in col.records
+        if r.complete and r.request_time >= 30.0
+    }
+    assert len(served_sides) <= 1

@@ -1,0 +1,88 @@
+"""Property tests over the quorum constructions.
+
+The central safety property of the whole paper: every construction's
+per-site quorums pairwise intersect — for any system size, and (for the
+fault-tolerant constructions) under any failure knowledge any two sites
+might independently hold.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.quorums.registry import make_quorum_system, quorum_system_names
+
+NAMES = quorum_system_names()
+
+
+def build_or_assume(name, n):
+    """Construct, or tell hypothesis the (name, n) combination is invalid
+    (size-constrained constructions such as projective planes)."""
+    try:
+        return make_quorum_system(name, n)
+    except ConfigurationError:
+        assume(False)
+
+
+@given(
+    name=st.sampled_from(NAMES),
+    n=st.integers(min_value=2, max_value=40),
+)
+@settings(max_examples=120, deadline=None)
+def test_per_site_quorums_pairwise_intersect(name, n):
+    system = build_or_assume(name, n)
+    quorums = [system.quorum_for(s) for s in system.sites]
+    for i, g in enumerate(quorums):
+        assert g, f"{name}: empty quorum for site {i}"
+        for h in quorums[i + 1 :]:
+            assert g & h, f"{name} n={n}: disjoint quorums"
+
+
+@given(
+    name=st.sampled_from(NAMES),
+    n=st.integers(min_value=3, max_value=16),
+    data=st.data(),
+)
+@settings(max_examples=120, deadline=None)
+def test_failure_avoiding_quorums_cross_intersect(name, n, data):
+    """Quorums computed under different failure views still intersect.
+
+    This is the property that keeps mutual exclusion safe *during*
+    recovery (Section 6): two sites may briefly disagree about which
+    sites are dead, yet their quorums must still share an arbiter.
+    """
+    system = build_or_assume(name, n)
+    sites = list(system.sites)
+    failed_a = frozenset(
+        data.draw(st.sets(st.sampled_from(sites), max_size=max(1, n // 3)))
+    )
+    failed_b = frozenset(
+        data.draw(st.sets(st.sampled_from(sites), max_size=max(1, n // 3)))
+    )
+    site_a = data.draw(st.sampled_from(sites))
+    site_b = data.draw(st.sampled_from(sites))
+    qa = system.quorum_avoiding(site_a, failed_a)
+    qb = system.quorum_avoiding(site_b, failed_b)
+    if qa is not None:
+        assert not (qa & failed_a)
+    if qb is not None:
+        assert not (qb & failed_b)
+    if qa is not None and qb is not None:
+        assert qa & qb, (
+            f"{name} n={n}: quorums under views {sorted(failed_a)} / "
+            f"{sorted(failed_b)} are disjoint"
+        )
+
+
+@given(
+    name=st.sampled_from(NAMES),
+    n=st.integers(min_value=2, max_value=30),
+)
+@settings(max_examples=60, deadline=None)
+def test_mean_quorum_size_bounded(name, n):
+    system = build_or_assume(name, n)
+    k = system.mean_quorum_size()
+    assert 1 <= k <= n
+    assert system.max_quorum_size() <= n

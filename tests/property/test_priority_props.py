@@ -1,0 +1,45 @@
+"""Property tests: the priority order is total and matches the paper rule."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import Priority
+
+priorities = st.builds(
+    Priority,
+    seq=st.integers(min_value=0, max_value=10**6),
+    site=st.integers(min_value=0, max_value=10**4),
+)
+
+
+@given(priorities, priorities)
+def test_total_order(a, b):
+    assert (a < b) + (b < a) + (a == b) == 1
+
+
+@given(priorities, priorities, priorities)
+def test_transitivity(a, b, c):
+    if a < b and b < c:
+        assert a < c
+
+
+@given(priorities, priorities)
+def test_paper_rule(a, b):
+    """Smaller sequence number wins; ties break on smaller site id."""
+    if a.seq != b.seq:
+        assert (a < b) == (a.seq < b.seq)
+    else:
+        assert (a < b) == (a.site < b.site)
+
+
+@given(priorities)
+def test_max_sentinel_dominates_everything(p):
+    assert p < Priority.maximum()
+    assert not p.is_max
+
+
+@given(st.lists(priorities, min_size=1, max_size=50))
+def test_sorting_is_stable_under_min(ps):
+    assert sorted(ps)[0] == min(ps)

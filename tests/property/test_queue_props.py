@@ -1,0 +1,56 @@
+"""Property tests: RequestQueue against a sorted-list model."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common import Priority
+from repro.core.state import RequestQueue
+
+priorities = st.builds(
+    Priority,
+    seq=st.integers(min_value=0, max_value=50),
+    site=st.integers(min_value=0, max_value=20),
+)
+
+#: Operations: ("push", p) | ("pop",) | ("remove", p) | ("remove_site", s)
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), priorities),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("remove"), priorities),
+        st.tuples(st.just("remove_site"), st.integers(min_value=0, max_value=20)),
+    ),
+    max_size=60,
+)
+
+
+@given(ops)
+def test_queue_matches_sorted_model(operations):
+    queue = RequestQueue()
+    model: list = []
+    for op in operations:
+        if op[0] == "push":
+            queue.push(op[1])
+            model.append(op[1])
+            model.sort()
+        elif op[0] == "pop":
+            if model:
+                assert queue.pop_head() == model.pop(0)
+            else:
+                assert queue.head() is None
+        elif op[0] == "remove":
+            expected = op[1] in model
+            assert queue.remove(op[1]) == expected
+            if expected:
+                model.remove(op[1])
+        elif op[0] == "remove_site":
+            expected = next((p for p in model if p.site == op[1]), None)
+            assert queue.remove_site(op[1]) == expected
+            if expected is not None:
+                model.remove(expected)
+        # Invariants after every operation.
+        assert list(queue) == model
+        assert queue.head() == (model[0] if model else None)
+        assert len(queue) == len(model)

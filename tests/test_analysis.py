@@ -1,0 +1,86 @@
+"""Unit tests for the closed-form analysis module."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.closed_form import (
+    HEAVY_LOAD_CASE_MULTIPLIERS,
+    centralized_costs,
+    gridset_quorum_size,
+    heavy_load_message_bounds,
+    hierarchical_quorum_size,
+    lamport_costs,
+    light_load_messages,
+    light_load_response_time,
+    maekawa_costs,
+    maekawa_quorum_size,
+    majority_quorum_size,
+    proposed_costs,
+    raymond_costs,
+    ricart_agrawala_costs,
+    roucairol_carvalho_costs,
+    rst_quorum_size,
+    suzuki_kasami_costs,
+    tree_quorum_size,
+)
+from repro.analysis.table1 import analytic_table1, render_analytic_table1
+
+
+def test_table1_rows_for_n25():
+    rows = {c.name: c for c in analytic_table1(25)}
+    assert rows["lamport"].light_messages == 72
+    assert rows["ricart-agrawala"].light_messages == 48
+    assert rows["maekawa"].light_messages == pytest.approx(12.0)
+    assert rows["maekawa"].heavy_messages_low == pytest.approx(20.0)
+    assert rows["maekawa"].sync_delay_t == 2.0
+    assert rows["cao-singhal"].sync_delay_t == 1.0
+    assert rows["cao-singhal"].heavy_messages_high == pytest.approx(24.0)
+    assert rows["cao-singhal (tree)"].sync_delay_t == 1.0
+
+
+def test_proposed_bounds_ordering():
+    c = proposed_costs(100)
+    assert c.light_messages < c.heavy_messages_low < c.heavy_messages_high
+
+
+def test_heavy_load_case_multipliers():
+    # Section 5.2: only case 4.2 costs 6(K-1).
+    assert HEAVY_LOAD_CASE_MULTIPLIERS["case4.2"] == 6.0
+    others = [v for k, v in HEAVY_LOAD_CASE_MULTIPLIERS.items() if k != "case4.2"]
+    assert all(v == 5.0 for v in others)
+
+
+def test_light_load_formulas():
+    assert light_load_messages(9) == 24.0
+    assert light_load_response_time(1.0, 0.5) == 2.5
+    low, high = heavy_load_message_bounds(9)
+    assert (low, high) == (40.0, 48.0)
+
+
+def test_quorum_size_closed_forms():
+    assert maekawa_quorum_size(25) == 5.0
+    assert tree_quorum_size(31) == 5.0
+    assert majority_quorum_size(9) == 5.0
+    assert hierarchical_quorum_size(27) == pytest.approx(27 ** (math.log(2) / math.log(3)))
+    assert gridset_quorum_size(16, 4) > 0
+    assert rst_quorum_size(16, 4) > 0
+
+
+def test_token_and_broadcast_costs():
+    assert suzuki_kasami_costs(10).heavy_messages_low == 10.0
+    assert raymond_costs(16).sync_delay_t == pytest.approx(4.0)
+    assert centralized_costs(99).light_messages == 3.0
+    assert roucairol_carvalho_costs(10).light_messages == 9.0
+    assert lamport_costs(2).light_messages == 3.0
+    assert ricart_agrawala_costs(2).light_messages == 2.0
+    assert maekawa_costs(16, k=4.0).light_messages == 9.0
+
+
+def test_render_analytic_table1_text():
+    text = render_analytic_table1(25)
+    assert "Table 1" in text
+    assert "cao-singhal" in text
+    assert "2.0T" in text and "1.0T" in text

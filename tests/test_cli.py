@@ -1,0 +1,72 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _delay_model, build_parser, main
+from repro.sim.network import ConstantDelay, ExponentialDelay, UniformDelay
+
+
+def test_delay_model_parsing():
+    assert isinstance(_delay_model("constant"), ConstantDelay)
+    assert _delay_model("constant:2.5").mean == 2.5
+    model = _delay_model("uniform:1:3")
+    assert isinstance(model, UniformDelay) and model.mean == 2.0
+    assert isinstance(_delay_model("exp:1.5"), ExponentialDelay)
+    with pytest.raises(Exception):
+        _delay_model("warp")
+
+
+def test_parser_defaults():
+    args = build_parser().parse_args(["run"])
+    assert args.algorithm == "cao-singhal"
+    assert args.sites == 9
+
+
+def test_run_command_prints_summary(capsys):
+    code = main(
+        [
+            "run",
+            "-a",
+            "cao-singhal",
+            "-n",
+            "4",
+            "-q",
+            "grid",
+            "--saturate",
+            "3",
+            "--delay",
+            "constant:1",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cao-singhal" in out
+    assert "messages/CS" in out
+
+
+def test_run_command_poisson(capsys):
+    code = main(
+        ["run", "-a", "ricart-agrawala", "-n", "3", "--poisson", "0.05",
+         "--horizon", "100"]
+    )
+    assert code == 0
+    assert "ricart-agrawala" in capsys.readouterr().out
+
+
+def test_experiment_ids_registered():
+    for exp_id in ("E1", "E2", "E3", "E4", "E5", "E6", "E7a", "E7b", "E8", "E9"):
+        assert exp_id in EXPERIMENTS
+
+
+def test_experiment_command_csv(capsys):
+    code = main(["experiment", "E6", "--csv"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert out.startswith("N,")
+
+
+def test_invalid_algorithm_rejected_by_parser():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "-a", "not-an-algorithm"])

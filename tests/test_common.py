@@ -1,0 +1,63 @@
+"""Unit tests for shared primitives: Priority ordering and Bundles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import Bundle, Priority, bundle_or_single
+
+
+def test_priority_orders_by_sequence_then_site():
+    # Paper rule: smaller sequence number wins; ties -> smaller site id.
+    assert Priority(1, 5) < Priority(2, 0)
+    assert Priority(3, 1) < Priority(3, 2)
+    assert not Priority(3, 2) < Priority(3, 2)
+
+
+def test_priority_max_sentinel():
+    top = Priority.maximum()
+    assert top.is_max
+    assert Priority(10**9, 10**6) < top
+    assert str(top) == "(max,max)"
+
+
+def test_priority_str():
+    assert str(Priority(4, 2)) == "(4,2)"
+
+
+def test_priority_equality_and_hash():
+    assert Priority(1, 1) == Priority(1, 1)
+    assert len({Priority(1, 1), Priority(1, 1), Priority(1, 2)}) == 2
+
+
+def test_priority_total_order_sorting():
+    ps = [Priority(2, 1), Priority(1, 9), Priority(2, 0), Priority(1, 0)]
+    assert sorted(ps) == [
+        Priority(1, 0),
+        Priority(1, 9),
+        Priority(2, 0),
+        Priority(2, 1),
+    ]
+
+
+class _Msg:
+    def __init__(self, name):
+        self.type_name = name
+
+
+def test_bundle_combines_type_names():
+    b = Bundle(parts=(_Msg("inquire"), _Msg("transfer")))
+    assert b.type_name == "inquire+transfer"
+
+
+def test_bundle_requires_two_parts():
+    with pytest.raises(ValueError):
+        Bundle(parts=(_Msg("solo"),))
+
+
+def test_bundle_or_single_passthrough():
+    solo = _Msg("reply")
+    assert bundle_or_single(solo) is solo
+    combined = bundle_or_single(_Msg("reply"), _Msg("transfer"))
+    assert isinstance(combined, Bundle)
+    assert combined.type_name == "reply+transfer"

@@ -1,0 +1,134 @@
+"""Unit tests for the algorithm's data structures (Section 3.1)."""
+
+from __future__ import annotations
+
+from repro.common import Priority
+from repro.core.messages import Transfer
+from repro.core.state import (
+    ArbiterState,
+    RequestQueue,
+    RequesterState,
+    TranStack,
+)
+
+
+def _t(beneficiary, arbiter, holder=Priority(1, 0)):
+    return Transfer(beneficiary=beneficiary, arbiter=arbiter, holder=holder)
+
+
+# -- RequestQueue ---------------------------------------------------------------
+
+
+def test_queue_orders_by_priority():
+    q = RequestQueue()
+    q.push(Priority(3, 1))
+    q.push(Priority(1, 2))
+    q.push(Priority(2, 0))
+    assert q.head() == Priority(1, 2)
+    assert q.pop_head() == Priority(1, 2)
+    assert q.pop_head() == Priority(2, 0)
+    assert q.pop_head() == Priority(3, 1)
+    assert not q
+
+
+def test_queue_head_of_empty_is_none():
+    assert RequestQueue().head() is None
+
+
+def test_queue_remove_exact():
+    q = RequestQueue()
+    a, b = Priority(1, 1), Priority(2, 2)
+    q.push(a)
+    q.push(b)
+    assert q.remove(a)
+    assert not q.remove(a)  # second removal: absent
+    assert list(q) == [b]
+
+
+def test_queue_remove_site():
+    q = RequestQueue()
+    q.push(Priority(1, 7))
+    q.push(Priority(2, 3))
+    removed = q.remove_site(7)
+    assert removed == Priority(1, 7)
+    assert q.remove_site(7) is None
+    assert len(q) == 1
+
+
+def test_queue_contains_and_iter():
+    q = RequestQueue()
+    q.push(Priority(5, 5))
+    assert Priority(5, 5) in q
+    assert Priority(5, 6) not in q
+    assert [p.site for p in q] == [5]
+
+
+# -- TranStack ------------------------------------------------------------------
+
+
+def test_stack_is_lifo():
+    s = TranStack()
+    s.push(_t(Priority(1, 1), arbiter=9))
+    s.push(_t(Priority(2, 2), arbiter=8))
+    assert s.pop().arbiter == 8
+    assert s.pop().arbiter == 9
+
+
+def test_stack_drop_arbiter():
+    s = TranStack()
+    s.push(_t(Priority(1, 1), arbiter=9))
+    s.push(_t(Priority(2, 2), arbiter=8))
+    s.push(_t(Priority(3, 3), arbiter=9))
+    assert s.drop_arbiter(9) == 2
+    assert len(s) == 1
+    assert next(iter(s)).arbiter == 8
+
+
+def test_stack_drop_beneficiary():
+    s = TranStack()
+    s.push(_t(Priority(1, 4), arbiter=9))
+    s.push(_t(Priority(2, 5), arbiter=8))
+    assert s.drop_beneficiary(4) == 1
+    assert len(s) == 1
+
+
+def test_stack_clear_and_repr():
+    s = TranStack()
+    s.push(_t(Priority(1, 1), arbiter=2))
+    assert "TranStack" in repr(s)
+    s.clear()
+    assert not s
+
+
+# -- Arbiter / Requester state ----------------------------------------------------
+
+
+def test_arbiter_starts_free_with_empty_queue():
+    a = ArbiterState()
+    assert a.is_free
+    assert len(a.req_queue) == 0
+    a.lock = Priority(1, 0)
+    assert not a.is_free
+
+
+def test_requester_reset_for_new_request():
+    r = RequesterState()
+    r.failed = True
+    r.inq_pending[3] = 1
+    r.grant_epoch[2] = 5
+    r.tran_stack.push(_t(Priority(9, 9), arbiter=1))
+    r.reset_for(Priority(2, 0), quorum={0, 1, 2})
+    assert r.priority == Priority(2, 0)
+    assert r.replied == {0: False, 1: False, 2: False}
+    assert not r.failed
+    assert not r.inq_pending
+    assert not r.grant_epoch
+    assert not r.tran_stack
+    assert not r.all_replied
+    for k in r.replied:
+        r.replied[k] = True
+    assert r.all_replied
+
+
+def test_all_replied_false_when_empty():
+    assert not RequesterState().all_replied

@@ -1,0 +1,128 @@
+"""Unit tests for coterie validation and operations (paper Section 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, CoterieError
+from repro.quorums.coterie import Coterie, ExplicitQuorumSystem
+
+
+def test_paper_example_coterie():
+    # The paper's own example: C = {{a,b},{b,c}} over U = {a,b,c}.
+    c = Coterie([{0, 1}, {1, 2}], universe={0, 1, 2})
+    assert len(c) == 2
+    assert frozenset({0, 1}) in c
+    assert c.universe == {0, 1, 2}
+
+
+def test_empty_coterie_rejected():
+    with pytest.raises(CoterieError):
+        Coterie([])
+
+
+def test_empty_quorum_rejected():
+    with pytest.raises(CoterieError):
+        Coterie([set(), {1}])
+
+
+def test_quorum_outside_universe_rejected():
+    with pytest.raises(CoterieError):
+        Coterie([{0, 5}], universe={0, 1})
+
+
+def test_intersection_violation_rejected():
+    with pytest.raises(CoterieError):
+        Coterie([{0, 1}, {2, 3}])
+
+
+def test_minimality_violation_rejected_by_default():
+    with pytest.raises(CoterieError):
+        Coterie([{0}, {0, 1}])
+
+
+def test_minimality_can_be_waived_and_reduced():
+    c = Coterie([{0}, {0, 1}], require_minimality=False)
+    assert not c.is_minimal
+    reduced = c.reduce()
+    assert reduced.is_minimal
+    assert reduced.quorums == (frozenset({0}),)
+
+
+def test_duplicates_collapse():
+    c = Coterie([{0, 1}, {1, 0}])
+    assert len(c) == 1
+
+
+def test_equality_and_hash_order_independent():
+    a = Coterie([{0, 1}, {1, 2}])
+    b = Coterie([{1, 2}, {0, 1}])
+    assert a == b
+    assert hash(a) == hash(b)
+
+
+def test_degree_counts_arbitration_load():
+    c = Coterie([{0, 1}, {1, 2}])
+    assert c.degree_of(1) == 2
+    assert c.degree_of(0) == 1
+    assert c.degree_of(99) == 0
+
+
+def test_quorum_sizes_sorted():
+    c = Coterie([{0, 1, 2}, {2, 3}], require_minimality=False)
+    assert c.quorum_sizes() == [2, 3]
+
+
+def test_domination():
+    # {{0}} dominates {{0,1},{0,2}}: every quorum of the latter contains {0}.
+    small = Coterie([{0}])
+    big = Coterie([{0, 1}, {0, 2}])
+    assert small.dominates(big)
+    assert not big.dominates(small)
+    assert not small.dominates(small)
+
+
+def test_is_quorum_alive():
+    c = Coterie([{0, 1}, {1, 2}])
+    assert c.is_quorum_alive(frozenset())
+    assert c.is_quorum_alive(frozenset({0}))  # {1,2} survives
+    assert not c.is_quorum_alive(frozenset({1}))  # site 1 is in every quorum
+
+
+# -- ExplicitQuorumSystem -------------------------------------------------------
+
+
+def test_explicit_system_roundtrip():
+    table = [{0, 1}, {1, 2}, {1, 2}]
+    qs = ExplicitQuorumSystem(3, table)
+    assert qs.quorum_for(0) == {0, 1}
+    assert qs.mean_quorum_size() == 2.0
+    assert qs.max_quorum_size() == 2
+    qs.validate()  # all pairwise intersect through site 1
+
+
+def test_explicit_system_validations():
+    with pytest.raises(ConfigurationError):
+        ExplicitQuorumSystem(2, [{0}])  # wrong arity
+    with pytest.raises(ConfigurationError):
+        ExplicitQuorumSystem(2, [{0}, set()])  # empty quorum
+    with pytest.raises(ConfigurationError):
+        ExplicitQuorumSystem(2, [{0}, {7}])  # unknown site
+
+
+def test_explicit_system_detects_disjoint_quorums():
+    qs = ExplicitQuorumSystem(4, [{0, 1}, {0, 1}, {2, 3}, {2, 3}])
+    with pytest.raises(CoterieError):
+        qs.validate()
+
+
+def test_quorum_avoiding_default_searches_coterie():
+    qs = ExplicitQuorumSystem(3, [{0, 1}, {1, 2}, {1, 2}])
+    assert qs.quorum_avoiding(0, frozenset()) == {0, 1}
+    assert qs.quorum_avoiding(0, frozenset({0})) == {1, 2}
+    assert qs.quorum_avoiding(0, frozenset({1})) is None
+
+
+def test_zero_sites_rejected():
+    with pytest.raises(ConfigurationError):
+        ExplicitQuorumSystem(0, [])

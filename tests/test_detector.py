@@ -1,0 +1,101 @@
+"""Unit tests for the heartbeat failure detector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ft.detector import Heartbeat, HeartbeatMonitor
+from repro.sim.network import ConstantDelay
+from repro.sim.node import Node
+from repro.sim.simulator import Simulator
+
+
+class Host(Node):
+    """Minimal node hosting a monitor."""
+
+    def __init__(self, site_id, n, interval=2.0, timeout=5.0, lifetime=100.0):
+        super().__init__(site_id)
+        self.suspicions = []
+        self.monitor = HeartbeatMonitor(
+            self, range(n), interval, timeout, lifetime,
+            on_suspect=self.suspicions.append,
+        )
+
+    def on_start(self):
+        self.monitor.start()
+
+    def on_message(self, src, message):
+        self.monitor.observe(src)
+
+
+def build(n=3, **kw):
+    sim = Simulator(seed=0, delay_model=ConstantDelay(1.0))
+    hosts = [sim.add_node(Host(i, n, **kw)) for i in range(n)]
+    sim.start()
+    return sim, hosts
+
+
+def test_no_suspicions_among_healthy_sites():
+    sim, hosts = build()
+    sim.run(until=60.0)
+    assert all(not h.suspicions for h in hosts)
+
+
+def test_silent_site_is_suspected_once():
+    sim, hosts = build()
+    sim.schedule(10.0, lambda: sim.crash(2))
+    sim.run(until=60.0)
+    for h in hosts[:2]:
+        assert h.suspicions == [2]
+        assert 2 in h.monitor.suspected
+
+
+def test_detection_latency_bounded_by_timeout_plus_interval():
+    sim, hosts = build(timeout=5.0, interval=2.0)
+    sim.schedule(10.0, lambda: sim.crash(2))
+    suspected_at = {}
+
+    orig = hosts[0].suspicions.append
+
+    def stamp(site):
+        suspected_at[site] = sim.now
+        orig(site)
+
+    hosts[0].monitor.on_suspect = stamp
+    sim.run(until=60.0)
+    # Crash at 10; last heartbeat received ~11; suspicion by ~11 + 5 + 2.
+    assert 10.0 < suspected_at[2] <= 10.0 + 1.0 + 5.0 + 2.0 + 0.5
+
+
+def test_observe_refutes_suspicion():
+    sim, hosts = build()
+    monitor = hosts[0].monitor
+    monitor.suspected.add(2)
+    assert monitor.observe(2) == 2
+    assert 2 not in monitor.suspected
+    assert monitor.observe(2) is None  # second call: nothing to refute
+
+
+def test_protocol_traffic_counts_as_liveness():
+    sim, hosts = build(timeout=5.0, interval=2.0)
+    # Site 2 stops heartbeating (we stop its monitor) but keeps sending
+    # other traffic — it must not be suspected.
+    hosts[2].monitor.lifetime = 0.0  # no more heartbeats from 2
+
+    def chatter():
+        if not hosts[2].crashed:
+            hosts[2].send(0, Heartbeat())  # any message works
+            hosts[2].send(1, Heartbeat())
+            sim.schedule(1.0, chatter)
+
+    sim.schedule(0.5, chatter)
+    sim.run(until=40.0)
+    assert not hosts[0].suspicions
+    assert not hosts[1].suspicions
+
+
+def test_monitor_stops_at_lifetime_and_queue_drains():
+    sim, hosts = build(lifetime=20.0)
+    sim.run(until=500_000.0)
+    assert sim.pending_events() == 0
+    assert sim.now < 50.0  # nothing self-perpetuating after the lifetime

@@ -1,0 +1,168 @@
+"""Edge-case and error-path tests across modules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.common import Priority
+from repro.core.site import CaoSinghalSite
+from repro.errors import ConfigurationError, ProtocolError
+from repro.experiments.runner import RunConfig, run_mutex
+from repro.metrics.summary import summarize
+from repro.mutex.base import MutexSite, SiteState
+from repro.sim.network import ConstantDelay
+from repro.sim.simulator import Simulator
+from repro.workload.driver import SaturationWorkload
+
+
+def make_site(quorum={0}):
+    sim = Simulator(seed=0, delay_model=ConstantDelay(1.0))
+    site = CaoSinghalSite(0, quorum)
+    sim.add_node(site)
+    sim.start()
+    return sim, site
+
+
+# -- core protocol error paths -------------------------------------------------
+
+
+def test_unknown_message_type_raises():
+    sim, site = make_site()
+    with pytest.raises(ProtocolError):
+        site.on_message(1, object())
+
+
+def test_reply_from_non_quorum_arbiter_raises():
+    from repro.core.messages import Reply
+
+    sim = Simulator(seed=0, delay_model=ConstantDelay(1.0))
+    site = CaoSinghalSite(0, {0, 1})
+    sim.add_node(site)
+    sim.start()
+    site.submit_request()
+    priority = site.req.priority
+    with pytest.raises(ProtocolError):
+        site._record_reply(Reply(arbiter=7, grantee=priority))
+
+
+def test_empty_quorum_rejected():
+    with pytest.raises(ProtocolError):
+        CaoSinghalSite(0, set())
+
+
+def test_free_arbiter_with_queue_is_invariant_violation():
+    from repro.core.messages import Request
+
+    sim, site = make_site()
+    site.arbiter.req_queue.push(Priority(1, 1))  # corrupt by hand
+    with pytest.raises(ProtocolError):
+        site._handle_request(Request(Priority(2, 2)))
+
+
+def test_yield_without_better_waiter_is_protocol_error():
+    from repro.core.messages import Request, Yield
+
+    sim, site = make_site()
+    site._handle_request(Request(Priority(1, 1)))
+    with pytest.raises(ProtocolError):
+        site._handle_yield(
+            Yield(yielder=Priority(1, 1), epoch=site.arbiter.epoch)
+        )
+
+
+def test_stale_yield_is_ignored():
+    from repro.core.messages import Request, Yield
+
+    sim, site = make_site()
+    site._handle_request(Request(Priority(1, 1)))
+    site._handle_yield(Yield(yielder=Priority(9, 9), epoch=1))  # not lock
+    site._handle_yield(Yield(yielder=Priority(1, 1), epoch=99))  # old tenure
+    assert site.arbiter.lock == Priority(1, 1)
+
+
+# -- base lifecycle error paths ----------------------------------------------------
+
+
+def test_release_cs_outside_cs_raises():
+    class Manual(MutexSite):
+        def _begin_request(self):
+            self._enter_cs()
+
+        def _exit_protocol(self):
+            pass
+
+    sim = Simulator(seed=0)
+    site = Manual(0, cs_duration=None)
+    sim.add_node(site)
+    sim.start()
+    with pytest.raises(ProtocolError):
+        site.release_cs()
+    site.submit_request()
+    assert site.state is SiteState.IN_CS
+    site.release_cs()
+    assert site.state is SiteState.IDLE
+
+
+# -- runner configuration errors -----------------------------------------------------
+
+
+def test_quorum_for_non_quorum_algorithm_rejected():
+    config = RunConfig(algorithm="lamport", quorum="grid")
+    with pytest.raises(ConfigurationError):
+        run_mutex(config)
+
+
+def test_safety_cap_raises_instead_of_hanging():
+    config = RunConfig(
+        algorithm="cao-singhal",
+        n_sites=9,
+        quorum="grid",
+        workload=SaturationWorkload(50),
+        max_events=100,  # absurdly small: must trip the cap
+    )
+    with pytest.raises(ConfigurationError):
+        run_mutex(config)
+
+
+def test_unverified_run_skips_checks():
+    config = RunConfig(
+        algorithm="cao-singhal",
+        n_sites=4,
+        quorum="grid",
+        workload=SaturationWorkload(2),
+        max_events=100,
+        verify=False,  # cap hit, but no verification -> no raise
+    )
+    result = run_mutex(config)
+    assert result.summary.completed >= 0
+
+
+# -- summaries of degenerate runs ---------------------------------------------------
+
+
+def test_summary_of_empty_run_is_nan_safe():
+    summary = summarize(
+        algorithm="x",
+        n_sites=3,
+        records=[],
+        messages_sent=0,
+        messages_by_type={},
+        duration=0.0,
+        mean_delay_t=1.0,
+        seed=0,
+    )
+    assert summary.completed == 0
+    assert math.isnan(summary.messages_per_cs)
+    assert math.isnan(summary.throughput)
+    text = summary.describe()  # must not blow up on NaNs
+    assert "completed" in text
+
+
+def test_priority_sentinel_not_in_queue_operations():
+    from repro.core.state import RequestQueue
+
+    q = RequestQueue()
+    q.push(Priority.maximum())
+    assert q.head().is_max

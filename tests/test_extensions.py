@@ -1,0 +1,147 @@
+"""Tests for the extension modules: new delay models, per-destination
+load accounting, E10, and multi-seed replication."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.load_balance import run_load_balance
+from repro.experiments.replicate import Replication, replicate, sync_delay_ci
+from repro.experiments.runner import RunConfig, run_mutex
+from repro.sim.network import LogNormalDelay, ParetoDelay, UniformDelay
+from repro.workload.driver import SaturationWorkload
+
+
+# -- new delay models ---------------------------------------------------------
+
+
+def test_lognormal_mean_and_positivity():
+    model = LogNormalDelay(mean=2.0, sigma=0.5)
+    rng = random.Random(0)
+    samples = [model.sample(rng, 0, 1) for _ in range(20000)]
+    assert all(s > 0 for s in samples)
+    assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.05)
+    assert model.mean == 2.0
+
+
+def test_pareto_mean_and_heavy_tail():
+    model = ParetoDelay(mean=1.0, alpha=3.0)
+    rng = random.Random(1)
+    samples = [model.sample(rng, 0, 1) for _ in range(40000)]
+    assert all(s > 0 for s in samples)
+    assert sum(samples) / len(samples) == pytest.approx(1.0, rel=0.07)
+    # Heavy tail: some samples far beyond the mean.
+    assert max(samples) > 5.0
+
+
+def test_delay_model_validation():
+    with pytest.raises(ConfigurationError):
+        LogNormalDelay(mean=0)
+    with pytest.raises(ConfigurationError):
+        LogNormalDelay(mean=1.0, sigma=0)
+    with pytest.raises(ConfigurationError):
+        ParetoDelay(mean=1.0, alpha=1.0)  # infinite mean
+
+
+@pytest.mark.parametrize(
+    "model",
+    [LogNormalDelay(1.0, 0.6), ParetoDelay(1.0, 2.2)],
+    ids=["lognormal", "pareto"],
+)
+def test_core_algorithm_survives_heavy_tailed_networks(model):
+    summary = run_mutex(
+        RunConfig(
+            algorithm="cao-singhal",
+            n_sites=8,
+            quorum="grid",
+            seed=5,
+            delay_model=model,
+            cs_duration=0.1,
+            workload=SaturationWorkload(6),
+        )
+    ).summary
+    assert summary.unserved == 0
+
+
+# -- per-destination accounting ---------------------------------------------------
+
+
+def test_by_destination_counts_sum_to_sent():
+    result = run_mutex(
+        RunConfig(
+            algorithm="cao-singhal",
+            n_sites=9,
+            quorum="grid",
+            seed=0,
+            workload=SaturationWorkload(4),
+        )
+    )
+    stats = result.sim.network.stats
+    assert sum(stats.by_destination.values()) == stats.messages_sent
+
+
+def test_e10_hotspot_ordering():
+    report = run_load_balance(
+        n_sites=15,
+        constructions=("grid", "tree", "wheel"),
+        requests_per_site=5,
+    )
+    rows = {row[0]: row for row in report.rows}
+    # Balanced grid < root-funnelled tree < hub-funnelled wheel.
+    assert rows["grid"][4] < rows["tree"][4] < rows["wheel"][4]
+    # Tree hotspot is the root; wheel hotspot is the hub.
+    assert rows["tree"][5] == 0
+    assert rows["wheel"][5] == 0
+
+
+# -- multi-seed replication -------------------------------------------------------
+
+
+def test_replication_statistics():
+    r = Replication(metric="x", samples=[1.0, 2.0, 3.0])
+    assert r.mean == 2.0
+    assert r.stdev == pytest.approx(1.0)
+    assert r.ci95 == pytest.approx(1.96 / 3**0.5)
+    assert "x:" in str(r)
+
+
+def test_replicate_runs_across_seeds():
+    config = RunConfig(
+        algorithm="cao-singhal",
+        n_sites=6,
+        quorum="grid",
+        delay_model=UniformDelay(0.5, 1.5),
+        cs_duration=0.5,
+        workload=SaturationWorkload(5),
+    )
+    rep = replicate(
+        config,
+        metric=lambda s: s.sync_delay_in_t,
+        seeds=range(5),
+        metric_name="sync",
+    )
+    assert rep.n == 5
+    assert len(set(rep.samples)) > 1  # seeds actually vary the runs
+    assert 0.5 < rep.mean < 2.0
+
+
+def test_sync_delay_ci_separates_algorithms():
+    kwargs = dict(
+        n_sites=9,
+        seeds=range(5),
+        delay_model=UniformDelay(0.5, 1.5),
+        cs_duration=1.0,
+        workload=SaturationWorkload(8),
+    )
+    proposed = sync_delay_ci("cao-singhal", **kwargs)
+    maekawa = sync_delay_ci("maekawa", **kwargs)
+    # The CIs must not overlap: the T vs 2T gap dominates seed noise.
+    assert proposed.mean + proposed.ci95 < maekawa.mean - maekawa.ci95
+
+
+def test_replicate_requires_seeds():
+    with pytest.raises(ConfigurationError):
+        replicate(RunConfig(), metric=lambda s: 0.0, seeds=[])

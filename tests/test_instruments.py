@@ -1,0 +1,71 @@
+"""Tests for the in-simulation instruments (ArbiterSampler) and E12."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.queueing import run_queueing
+from repro.experiments.runner import RunConfig, build_run
+from repro.metrics.instruments import ArbiterSampler
+from repro.sim.network import ConstantDelay
+from repro.workload.driver import SaturationWorkload
+
+
+def sampled_run(n=6, rps=6, period=0.5):
+    config = RunConfig(
+        algorithm="cao-singhal",
+        n_sites=n,
+        quorum="grid",
+        seed=3,
+        delay_model=ConstantDelay(1.0),
+        cs_duration=0.2,
+        workload=SaturationWorkload(rps),
+    )
+    sim, sites, collector, _, _ = build_run(config)
+    sampler = ArbiterSampler(sim, sites, period=period, lifetime=200.0)
+    sim.start()
+    sim.run(until=500_000.0)
+    return sim, sites, sampler
+
+
+def test_sampler_period_validation():
+    config = RunConfig(workload=SaturationWorkload(1))
+    sim, sites, _, _, _ = build_run(config)
+    with pytest.raises(ConfigurationError):
+        ArbiterSampler(sim, sites, period=0.0)
+
+
+def test_sampler_collects_on_schedule():
+    sim, sites, sampler = sampled_run(period=0.5)
+    assert sampler.samples, "no samples collected"
+    times = [s.time for s in sampler.samples]
+    assert times == sorted(times)
+    # Samples every 0.5 until the run drained (or lifetime).
+    assert times[0] == pytest.approx(0.5)
+    assert times[1] - times[0] == pytest.approx(0.5)
+
+
+def test_saturated_run_shows_queues():
+    _, sites, sampler = sampled_run(n=6, rps=8)
+    assert sampler.system_peak_queue() >= 1
+    assert sampler.system_mean_queue() > 0
+    stats = sampler.stats_for(sites[0].site_id)
+    assert 0 <= stats.busy_fraction <= 1
+    assert stats.peak >= stats.mean
+
+
+def test_stats_for_unknown_site_is_nan_free_peak():
+    _, _, sampler = sampled_run()
+    stats = sampler.stats_for(999)
+    assert stats.peak == 0
+    assert stats.mean == 0.0 or math.isnan(stats.mean) is False
+
+
+def test_e12_report_shape():
+    report = run_queueing(n_sites=9, rates=(0.01, None), horizon=200.0)
+    assert len(report.rows) == 2
+    light, saturated = report.rows
+    assert light[1] <= saturated[1]  # queues grow with load

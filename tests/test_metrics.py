@@ -1,0 +1,175 @@
+"""Unit tests for the metrics layer: collector, summaries, tables."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.metrics.collector import CSRecord, MetricsCollector
+from repro.metrics.summary import Stats, jain_fairness, summarize, sync_delays
+from repro.metrics.tables import fmt, render_csv, render_table
+
+
+def rec(site, request, enter, exit_):
+    return CSRecord(site=site, request_time=request, enter_time=enter, exit_time=exit_)
+
+
+# -- collector -----------------------------------------------------------------
+
+
+def test_collector_pairs_lifecycle():
+    c = MetricsCollector()
+    c.on_request(0, 1.0)
+    c.on_enter(0, 3.0)
+    c.on_exit(0, 4.0)
+    assert len(c.completed) == 1
+    r = c.completed[0]
+    assert r.waiting_time == 2.0
+    assert r.response_time == 3.0
+
+
+def test_collector_rejects_double_request():
+    c = MetricsCollector()
+    c.on_request(0, 1.0)
+    with pytest.raises(ProtocolError):
+        c.on_request(0, 2.0)
+
+
+def test_collector_rejects_orphan_enter_and_exit():
+    c = MetricsCollector()
+    with pytest.raises(ProtocolError):
+        c.on_enter(0, 1.0)
+    with pytest.raises(ProtocolError):
+        c.on_exit(0, 1.0)
+
+
+def test_collector_unserved_and_per_site_counts():
+    c = MetricsCollector()
+    c.on_request(0, 1.0)
+    c.on_enter(0, 2.0)
+    c.on_exit(0, 3.0)
+    c.on_request(1, 1.5)
+    assert len(c.unserved) == 1
+    assert c.per_site_counts() == {0: 1}
+
+
+# -- stats ---------------------------------------------------------------------
+
+
+def test_stats_of_empty_is_nan():
+    s = Stats.of([])
+    assert s.count == 0
+    assert math.isnan(s.mean)
+
+
+def test_stats_percentiles():
+    s = Stats.of(list(range(1, 101)))
+    assert s.mean == pytest.approx(50.5)
+    assert s.p50 == 50
+    assert s.p95 == 95
+    assert (s.minimum, s.maximum) == (1, 100)
+
+
+# -- sync delays ---------------------------------------------------------------
+
+
+def test_sync_delay_counts_contended_handoffs_only():
+    records = [
+        rec(0, 0.0, 1.0, 2.0),
+        # Contended: site 1 requested (t=1.5) before site 0 exited (2.0).
+        rec(1, 1.5, 3.0, 4.0),
+        # Uncontended: site 2 requested long after site 1 exited.
+        rec(2, 50.0, 52.0, 53.0),
+    ]
+    gaps = sync_delays(records)
+    assert gaps == [1.0]
+
+
+def test_sync_delay_ignores_incomplete_records():
+    records = [rec(0, 0.0, 1.0, 2.0), CSRecord(site=1, request_time=1.0)]
+    assert sync_delays(records) == []
+
+
+# -- fairness --------------------------------------------------------------------
+
+
+def test_jain_perfectly_fair():
+    assert jain_fairness({0: 5, 1: 5, 2: 5}, 3) == pytest.approx(1.0)
+
+
+def test_jain_maximally_unfair():
+    assert jain_fairness({0: 9}, 3) == pytest.approx(1 / 3)
+
+
+def test_jain_empty_is_nan():
+    assert math.isnan(jain_fairness({}, 3))
+
+
+# -- summarize -------------------------------------------------------------------
+
+
+def test_summarize_basic_quantities():
+    records = [
+        rec(0, 10.0, 11.0, 12.0),
+        rec(1, 11.0, 13.0, 14.0),
+        rec(2, 12.0, 15.0, 16.0),
+    ]
+    summary = summarize(
+        algorithm="x",
+        n_sites=3,
+        records=records,
+        messages_sent=30,
+        messages_by_type={"request": 15, "reply": 15},
+        duration=20.0,
+        mean_delay_t=1.0,
+        seed=0,
+        warmup_fraction=0.0,
+    )
+    assert summary.completed == 3
+    assert summary.messages_per_cs == pytest.approx(10.0)
+    assert summary.throughput == pytest.approx(3 / 20)
+    assert summary.sync_delay_in_t == pytest.approx(1.0)  # both gaps are 1
+    assert summary.fairness == pytest.approx(1.0)
+    assert "messages/CS" in summary.describe()
+
+
+def test_summarize_warmup_excludes_early_records():
+    records = [rec(0, 0.0, 1.0, 2.0), rec(1, 50.0, 51.0, 52.0)]
+    summary = summarize(
+        algorithm="x",
+        n_sites=2,
+        records=records,
+        messages_sent=0,
+        messages_by_type={},
+        duration=100.0,
+        mean_delay_t=1.0,
+        seed=0,
+        warmup_fraction=0.1,
+    )
+    # Only the second record is in the steady-state window.
+    assert summary.response_time.count == 1
+
+
+# -- tables ----------------------------------------------------------------------
+
+
+def test_fmt_handles_nan_and_precision():
+    assert fmt(float("nan")) == "-"
+    assert fmt(1.23456, 2) == "1.23"
+    assert fmt("abc") == "abc"
+    assert fmt(7) == "7"
+
+
+def test_render_table_alignment_and_title():
+    text = render_table(["a", "bb"], [[1, 2.5], [10, 3.25]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[1] and "bb" in lines[1]
+    assert len(lines) == 5
+
+
+def test_render_csv():
+    text = render_csv(["x", "y"], [[1, 2.0]])
+    assert text.splitlines() == ["x,y", "1,2.000000"]

@@ -1,0 +1,95 @@
+"""Unit tests for the shared site lifecycle (MutexSite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.mutex.base import MutexSite, RunListener, SiteState
+from repro.sim.network import ConstantDelay
+from repro.sim.simulator import Simulator
+
+
+class LoopbackSite(MutexSite):
+    """Grants itself immediately: isolates the base-class state machine."""
+
+    def _begin_request(self) -> None:
+        self._enter_cs()
+
+    def _exit_protocol(self) -> None:
+        pass
+
+
+class Recorder(RunListener):
+    def __init__(self):
+        self.events = []
+
+    def on_request(self, site, time):
+        self.events.append(("request", site, time))
+
+    def on_enter(self, site, time):
+        self.events.append(("enter", site, time))
+
+    def on_exit(self, site, time):
+        self.events.append(("exit", site, time))
+
+
+def make_site(cs_duration=1.0, listener=None):
+    sim = Simulator(delay_model=ConstantDelay(1.0))
+    site = LoopbackSite(0, cs_duration=cs_duration, listener=listener)
+    sim.add_node(site)
+    sim.start()
+    return sim, site
+
+
+def test_lifecycle_events_in_order():
+    recorder = Recorder()
+    sim, site = make_site(cs_duration=2.0, listener=recorder)
+    site.submit_request()
+    sim.run()
+    assert [e[0] for e in recorder.events] == ["request", "enter", "exit"]
+    assert recorder.events[2][2] - recorder.events[1][2] == pytest.approx(2.0)
+
+
+def test_backlog_serializes_requests():
+    recorder = Recorder()
+    sim, site = make_site(cs_duration=1.0, listener=recorder)
+    for _ in range(3):
+        site.submit_request()
+    assert site.backlog == 2  # first started immediately
+    sim.run()
+    assert site.completed == 3
+    kinds = [e[0] for e in recorder.events]
+    assert kinds == ["request", "enter", "exit"] * 3
+
+
+def test_callable_cs_duration_sampled_per_execution():
+    durations = iter([1.0, 3.0])
+    sim, site = make_site(cs_duration=lambda: next(durations))
+    site.submit_request()
+    site.submit_request()
+    sim.run()
+    assert sim.now == pytest.approx(4.0)
+
+
+def test_has_work_flag():
+    sim, site = make_site()
+    assert not site.has_work
+    site.submit_request()
+    assert site.has_work
+    sim.run()
+    assert not site.has_work
+
+
+def test_enter_cs_from_idle_is_protocol_error():
+    sim, site = make_site()
+    with pytest.raises(ProtocolError):
+        site._enter_cs()
+
+
+def test_crashed_site_does_not_start_requests():
+    sim, site = make_site()
+    site.crashed = True
+    site.submit_request()
+    assert site.state is SiteState.IDLE
+    assert site.backlog == 1

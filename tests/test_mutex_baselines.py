@@ -1,0 +1,202 @@
+"""Behavioural tests shared by every baseline algorithm, plus
+algorithm-specific message-count and ordering checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunConfig, run_mutex
+from repro.mutex.registry import algorithm_names, get_algorithm_spec, make_site
+from repro.sim.network import ConstantDelay
+from repro.workload.driver import SaturationWorkload, StaggeredSingleShot
+
+ALL_ALGORITHMS = algorithm_names()
+QUORUM_ALGOS = {"cao-singhal", "cao-singhal-no-transfer", "maekawa"}
+
+
+def run(algorithm, n_sites=7, workload=None, seed=0, cs_duration=0.2):
+    return run_mutex(
+        RunConfig(
+            algorithm=algorithm,
+            n_sites=n_sites,
+            quorum="grid" if algorithm in QUORUM_ALGOS else None,
+            seed=seed,
+            delay_model=ConstantDelay(1.0),
+            cs_duration=cs_duration,
+            workload=workload or SaturationWorkload(5),
+        )
+    ).summary
+
+
+# -- generic conformance across every algorithm -----------------------------------
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_heavy_load_serves_everything(algorithm):
+    summary = run(algorithm)
+    assert summary.completed == 7 * 5
+    assert summary.unserved == 0
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_single_request_completes(algorithm):
+    summary = run(algorithm, workload=StaggeredSingleShot({3: 1.0}))
+    assert summary.completed == 1
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_fairness_under_symmetric_load(algorithm):
+    summary = run(algorithm, workload=SaturationWorkload(6))
+    assert summary.fairness > 0.95
+
+
+@pytest.mark.parametrize("algorithm", ALL_ALGORITHMS)
+def test_registry_builds_sites(algorithm):
+    spec = get_algorithm_spec(algorithm)
+    from repro.quorums.registry import make_quorum_system
+
+    qs = make_quorum_system("grid", 9) if spec.needs_quorum else None
+    site = make_site(algorithm, 4, 9, qs)
+    assert site.site_id == 4
+    assert spec.description
+
+
+def test_unknown_algorithm_raises():
+    from repro.errors import ConfigurationError
+
+    with pytest.raises(ConfigurationError):
+        get_algorithm_spec("zookeeper")
+
+
+# -- message complexity against the paper's Table 1 -------------------------------
+
+
+def test_lamport_message_count_exact():
+    # 3(N-1) per execution, always.
+    summary = run("lamport", n_sites=6, workload=SaturationWorkload(4))
+    assert summary.messages_per_cs == pytest.approx(3 * 5, abs=1e-9)
+
+
+def test_ricart_agrawala_message_count_exact():
+    summary = run("ricart-agrawala", n_sites=6, workload=SaturationWorkload(4))
+    assert summary.messages_per_cs == pytest.approx(2 * 5, abs=1e-9)
+
+
+def test_roucairol_carvalho_bounded_by_ra():
+    n = 6
+    rc = run("roucairol-carvalho", n_sites=n, workload=SaturationWorkload(6))
+    assert n - 1 - 1e-9 <= rc.messages_per_cs <= 2 * (n - 1) + 1.5
+
+
+def test_roucairol_carvalho_repeated_requester_free():
+    # One site requesting over and over reuses its standing permissions.
+    result = run_mutex(
+        RunConfig(
+            algorithm="roucairol-carvalho",
+            n_sites=5,
+            seed=0,
+            delay_model=ConstantDelay(1.0),
+            cs_duration=0.1,
+            workload=StaggeredSingleShot({2: 1.0}),
+        )
+    )
+    first_cost = result.sim.network.stats.messages_sent
+    # Re-run with the same site requesting three times.
+    sim2 = run_mutex(
+        RunConfig(
+            algorithm="roucairol-carvalho",
+            n_sites=5,
+            seed=0,
+            delay_model=ConstantDelay(1.0),
+            cs_duration=0.1,
+            workload=type(
+                "W",
+                (),
+                {
+                    "install": lambda self, sim, sites: (
+                        [sim.schedule(t, sites[2].submit_request) for t in (1.0, 10.0, 20.0)],
+                        3,
+                    )[1]
+                },
+            )(),
+        )
+    ).sim
+    # Executions 2 and 3 cost nothing: permissions are retained.
+    assert sim2.network.stats.messages_sent == first_cost
+
+
+def test_suzuki_kasami_holder_requests_are_free():
+    result = run_mutex(
+        RunConfig(
+            algorithm="suzuki-kasami",
+            n_sites=5,
+            seed=0,
+            delay_model=ConstantDelay(1.0),
+            cs_duration=0.1,
+            workload=StaggeredSingleShot({0: 1.0}),  # site 0 holds the token
+        )
+    )
+    assert result.sim.network.stats.messages_sent == 0
+
+
+def test_suzuki_kasami_non_holder_costs_n():
+    result = run_mutex(
+        RunConfig(
+            algorithm="suzuki-kasami",
+            n_sites=5,
+            seed=0,
+            delay_model=ConstantDelay(1.0),
+            cs_duration=0.1,
+            workload=StaggeredSingleShot({3: 1.0}),
+        )
+    )
+    # N-1 broadcast requests + 1 token message.
+    assert result.sim.network.stats.messages_sent == 5
+
+
+def test_raymond_uses_few_messages_at_heavy_load():
+    summary = run("raymond", n_sites=15, workload=SaturationWorkload(6))
+    assert summary.messages_per_cs < 6  # paper: ~4 at heavy load
+
+
+def test_centralized_three_messages():
+    summary = run("centralized", n_sites=6, workload=SaturationWorkload(4))
+    # Coordinator's own requests are free, others cost 3.
+    assert summary.messages_per_cs <= 3.0
+
+
+def test_maekawa_vs_proposed_delay_ordering():
+    proposed = run("cao-singhal", n_sites=9, cs_duration=1.0,
+                   workload=SaturationWorkload(8))
+    maekawa = run("maekawa", n_sites=9, cs_duration=1.0,
+                  workload=SaturationWorkload(8))
+    assert proposed.sync_delay_in_t == pytest.approx(1.0, abs=0.15)
+    assert maekawa.sync_delay_in_t == pytest.approx(2.0, abs=0.15)
+
+
+def test_no_transfer_ablation_equals_maekawa_counts():
+    ablated = run("cao-singhal-no-transfer", n_sites=9, workload=SaturationWorkload(6))
+    maekawa = run("maekawa", n_sites=9, workload=SaturationWorkload(6))
+    assert ablated.sync_delay_in_t == pytest.approx(maekawa.sync_delay_in_t, rel=0.05)
+    assert ablated.messages_per_cs == pytest.approx(maekawa.messages_per_cs, rel=0.05)
+
+
+def test_priority_order_respected_on_equal_timestamps():
+    # All sites request simultaneously; ties break by site id everywhere.
+    for algorithm in ("lamport", "ricart-agrawala", "cao-singhal"):
+        result = run_mutex(
+            RunConfig(
+                algorithm=algorithm,
+                n_sites=4,
+                quorum="grid" if algorithm == "cao-singhal" else None,
+                seed=1,
+                delay_model=ConstantDelay(1.0),
+                cs_duration=0.2,
+                workload=StaggeredSingleShot({0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}),
+            )
+        )
+        order = [
+            r.site
+            for r in sorted(result.collector.completed, key=lambda r: r.enter_time)
+        ]
+        assert order == [0, 1, 2, 3], f"{algorithm}: {order}"

@@ -1,0 +1,225 @@
+"""The paper's Section 5.2 case analysis, validated case by case.
+
+Section 5.2 enumerates the arbiter situations a request can arrive into
+and the exact control messages each produces. These tests drive an
+arbiter's handlers directly (no network noise) through every case and
+assert precisely the messages the paper's analysis counts:
+
+=========  ====================================================  =================================
+paper case arbiter state on arrival of (sn,i)                    messages
+=========  ====================================================  =================================
+(grant)    lock free                                             reply to i
+case 1     queue empty, (sn,i) > lock                            fail to i, transfer to holder
+case 2     queue empty, (sn,i) < lock                            inquire+transfer to holder
+case 3     queue nonempty, (sn,i) > head                         fail to i
+case 4     (sn,i) < head < lock                                  fail to old head, transfer to holder
+case 5     lock < (sn,i) < head                                  fail to i, fail? no — transfer to holder, fail to i
+=========  ====================================================  =================================
+
+(see DESIGN.md §3 for why the fail recipients are pinned down this way).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import Bundle, Priority
+from repro.core.messages import Fail, Inquire, Reply, Request, Transfer
+from repro.core.site import CaoSinghalSite
+from repro.sim.network import ConstantDelay
+from repro.sim.simulator import Simulator
+
+
+class Outbox:
+    """Captures every (dst, part) a site sends, with bundles flattened."""
+
+    def __init__(self, site):
+        self.sent = []
+        original = site.send
+
+        def capture(dst, message, piggybacked=False):
+            for part in getattr(message, "parts", (message,)):
+                self.sent.append((dst, part))
+            original(dst, message, piggybacked)
+
+        site.send = capture
+
+    def of_type(self, cls):
+        return [(dst, m) for dst, m in self.sent if isinstance(m, cls)]
+
+    def clear(self):
+        self.sent.clear()
+
+
+def make_arbiter():
+    sim = Simulator(seed=0, delay_model=ConstantDelay(1.0))
+    sites = [CaoSinghalSite(i, {0}, cs_duration=1.0) for i in range(8)]
+    for s in sites:
+        sim.add_node(s)
+    sim.start()
+    arbiter = sites[0]
+    return arbiter, Outbox(arbiter)
+
+
+def p(seq, site):
+    return Priority(seq, site)
+
+
+def test_free_arbiter_grants_directly():
+    arbiter, out = make_arbiter()
+    arbiter._handle_request(Request(p(1, 3)))
+    assert out.of_type(Reply) == [
+        (3, Reply(arbiter=0, grantee=p(1, 3), epoch=1))
+    ]
+    assert arbiter.arbiter.lock == p(1, 3)
+    assert arbiter.arbiter.epoch == 1  # first tenure
+
+
+def test_case1_empty_queue_lower_priority_newcomer():
+    """(queue empty) and (sn,i) > lock: fail to i + transfer to holder.
+
+    Section 5.2 case 1 counts request/fail/transfer/reply/release — the
+    fail goes to the newcomer (nobody else exists to receive it)."""
+    arbiter, out = make_arbiter()
+    arbiter._handle_request(Request(p(1, 2)))  # holder
+    out.clear()
+    arbiter._handle_request(Request(p(2, 4)))  # lower priority newcomer
+    fails = out.of_type(Fail)
+    transfers = out.of_type(Transfer)
+    assert fails == [(4, Fail(arbiter=0, target=p(2, 4)))]
+    assert transfers == [
+        (2, Transfer(beneficiary=p(2, 4), arbiter=0, holder=p(1, 2),
+                     holder_epoch=1))
+    ]
+    assert out.of_type(Inquire) == []
+
+
+def test_case2_empty_queue_higher_priority_newcomer():
+    """(queue empty) and (sn,i) < lock: inquire piggybacked with transfer
+    to the holder; no fail (the newcomer is winning)."""
+    arbiter, out = make_arbiter()
+    arbiter._handle_request(Request(p(5, 2)))
+    out.clear()
+    arbiter._handle_request(Request(p(1, 4)))
+    assert out.of_type(Fail) == []
+    assert out.of_type(Inquire) == [
+        (2, Inquire(arbiter=0, target=p(5, 2), epoch=1))
+    ]
+    assert out.of_type(Transfer) == [
+        (2, Transfer(beneficiary=p(1, 4), arbiter=0, holder=p(5, 2),
+                     holder_epoch=1))
+    ]
+
+
+def test_case2_is_piggybacked_as_one_message():
+    arbiter, out = make_arbiter()
+    arbiter._handle_request(Request(p(5, 2)))
+    arbiter._handle_request(Request(p(1, 4)))
+    sim = arbiter.sim
+    assert sim.network.stats.by_type.get("transfer+inquire", 0) == 1
+
+
+def test_case3_newcomer_behind_the_head():
+    """(queue nonempty) and (sn,i) > head: just a fail to the newcomer —
+    the head's transfer/inquire arrangements stand."""
+    arbiter, out = make_arbiter()
+    arbiter._handle_request(Request(p(5, 2)))   # holder
+    arbiter._handle_request(Request(p(1, 4)))   # head (outranks holder)
+    out.clear()
+    arbiter._handle_request(Request(p(3, 5)))   # between head and holder
+    assert out.of_type(Fail) == [(5, Fail(arbiter=0, target=p(3, 5)))]
+    assert out.of_type(Transfer) == []
+    assert out.of_type(Inquire) == []
+
+
+def test_case4_new_head_above_old_head_above_it_all():
+    """(sn,i) < head < lock: fail to the displaced head + fresh transfer;
+    NO new inquire (one is already outstanding for the old head)."""
+    arbiter, out = make_arbiter()
+    arbiter._handle_request(Request(p(9, 2)))   # holder (lowest priority)
+    arbiter._handle_request(Request(p(5, 4)))   # head, outranks holder
+    out.clear()
+    arbiter._handle_request(Request(p(1, 5)))   # new head, outranks all
+    assert out.of_type(Fail) == [(4, Fail(arbiter=0, target=p(5, 4)))]
+    assert out.of_type(Transfer) == [
+        (2, Transfer(beneficiary=p(1, 5), arbiter=0, holder=p(9, 2),
+                     holder_epoch=1))
+    ]
+    assert out.of_type(Inquire) == []  # already outstanding
+
+
+def test_case5_new_head_still_behind_holder():
+    """lock < (sn,i) < head: the newcomer becomes head but is behind the
+    holder — it gets a fail (Section 5.2 case 5 counts one), plus the
+    fresh transfer to the holder; no inquire (the holder outranks it)."""
+    arbiter, out = make_arbiter()
+    arbiter._handle_request(Request(p(1, 2)))   # holder (highest priority)
+    arbiter._handle_request(Request(p(9, 4)))   # head, behind holder
+    out.clear()
+    arbiter._handle_request(Request(p(5, 5)))   # new head, behind holder
+    fails = out.of_type(Fail)
+    assert (5, Fail(arbiter=0, target=p(5, 5))) in fails
+    # The displaced old head (9,4) already failed at its own arrival.
+    assert all(dst != 4 for dst, _ in fails)
+    assert out.of_type(Transfer) == [
+        (2, Transfer(beneficiary=p(5, 5), arbiter=0, holder=p(1, 2),
+                     holder_epoch=1))
+    ]
+    assert out.of_type(Inquire) == []
+
+
+def test_at_most_one_inquire_per_tenure():
+    """Successively better requests must not trigger duplicate inquires."""
+    arbiter, out = make_arbiter()
+    arbiter._handle_request(Request(p(9, 2)))
+    out.clear()
+    arbiter._handle_request(Request(p(5, 4)))   # -> inquire
+    arbiter._handle_request(Request(p(3, 5)))   # better, but outstanding
+    arbiter._handle_request(Request(p(1, 6)))   # better still
+    assert len(out.of_type(Inquire)) == 1
+
+
+def test_queue_ends_up_priority_ordered():
+    arbiter, out = make_arbiter()
+    arbiter._handle_request(Request(p(4, 2)))
+    for seq, site in ((9, 3), (2, 4), (7, 5), (5, 6)):
+        arbiter._handle_request(Request(p(seq, site)))
+    assert list(arbiter.arbiter.req_queue) == [
+        p(2, 4), p(5, 6), p(7, 5), p(9, 3)
+    ]
+
+
+def test_cross_tenure_transfer_is_rejected():
+    """The tenure-epoch rule (reconstruction extension): a transfer from
+    an earlier tenure of the same permission must not be honoured after a
+    yield-and-reacquire cycle. Found by the interleaving explorer; see
+    DESIGN.md 'Cross-tenure relics need tenure epochs'."""
+    from repro.core.messages import Reply as CReply
+
+    sim = Simulator(seed=0, delay_model=ConstantDelay(1.0))
+    # Quorum {1,2}: arbiter 2 never replies, so the site stays
+    # REQUESTING throughout (entering the CS would end the scenario).
+    sites = [CaoSinghalSite(i, {1, 2}, cs_duration=5.0) for i in range(3)]
+    for s in sites:
+        sim.add_node(s)
+    sim.start()
+    requester = sites[0]
+    requester.submit_request()
+    pri = requester.req.priority
+    # Tenure 1 grant, then a tenure-1 transfer arrives late — but the
+    # requester meanwhile yielded and was re-granted (tenure 3).
+    requester._record_reply(CReply(arbiter=1, grantee=pri, epoch=1))
+    requester.req.failed = True
+    requester._consider_inquire(1, epoch=1)      # yields tenure 1
+    assert requester.req.replied[1] is False
+    requester._record_reply(CReply(arbiter=1, grantee=pri, epoch=3))
+    stale = Transfer(
+        beneficiary=Priority(9, 2), arbiter=1, holder=pri, holder_epoch=1
+    )
+    requester._record_transfer(stale)
+    assert len(requester.req.tran_stack) == 0    # relic rejected
+    fresh = Transfer(
+        beneficiary=Priority(9, 2), arbiter=1, holder=pri, holder_epoch=3
+    )
+    requester._record_transfer(fresh)
+    assert len(requester.req.tran_stack) == 1    # current tenure accepted

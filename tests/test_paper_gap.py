@@ -1,0 +1,126 @@
+"""Regression: the paper's literal C.2 rule deadlocks; our fix does not.
+
+DESIGN.md §3 documents the reconstruction finding: when a ``release``
+installs a transfer beneficiary as the new lock holder while a
+higher-priority request already heads the queue, the paper's rules never
+(re-)issue an inquire for the new tenure, and the head can defer forever.
+This module keeps the finding executable:
+
+* ``PaperLiteralSite`` implements C.2 exactly as the paper states it
+  (transfer to the new holder, never an inquire);
+* the simulator reproduces the deadlock on a recorded seed in
+  milliseconds;
+* the exhaustive explorer *proves* the deadlock needs no special timing —
+  some interleaving of a 5-site world strands requests (run with
+  ``REPRO_SLOW=1``; ~40 s);
+* the shipped protocol passes the identical scenarios.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.common import Priority
+from repro.core.messages import Release, Transfer
+from repro.core.site import CaoSinghalSite
+from repro.errors import DeadlockError, ProtocolError
+from repro.metrics.collector import MetricsCollector
+from repro.quorums.registry import make_quorum_system
+from repro.sim.network import ExponentialDelay
+from repro.sim.simulator import Simulator
+from repro.verify.invariants import check_progress
+
+
+class PaperLiteralSite(CaoSinghalSite):
+    """C.2 with the handover-inquire fix reverted (the paper verbatim)."""
+
+    def _handle_release(self, src, msg):
+        arb = self.arbiter
+        if arb.lock != msg.releaser:
+            if msg.releaser in arb.req_queue:
+                self._pending_releases[msg.releaser] = msg
+                return
+            raise ProtocolError("unmatched release")
+        if msg.transferred_to is not None:
+            beneficiary = msg.transferred_to
+            if not arb.req_queue.remove(beneficiary):
+                raise ProtocolError("missing beneficiary")
+            arb.install(beneficiary)
+            stashed = self._pending_releases.pop(beneficiary, None)
+            if stashed is not None:
+                self._handle_release(beneficiary.site, stashed)
+                return
+            head = arb.req_queue.head()
+            if head is not None and self.enable_transfer:
+                # The paper sends only the transfer — never an inquire,
+                # even when `head` outranks the new holder.
+                self.send(
+                    beneficiary.site,
+                    Transfer(
+                        beneficiary=head,
+                        arbiter=self.site_id,
+                        holder=beneficiary,
+                        holder_epoch=arb.epoch,
+                    ),
+                )
+            return
+        if not arb.req_queue:
+            arb.lock = Priority.maximum()
+            return
+        new_lock = arb.req_queue.pop_head()
+        arb.install(new_lock)
+        self._grant(new_lock)
+
+
+def run_sim(site_cls, seed=0, n=5, rps=8):
+    """The configuration that first exposed the deadlock (grid, exp delays)."""
+    qs = make_quorum_system("grid", n)
+    sim = Simulator(seed=seed, delay_model=ExponentialDelay(1.0))
+    collector = MetricsCollector()
+    sites = [
+        site_cls(i, qs.quorum_for(i), cs_duration=0.05, listener=collector)
+        for i in range(n)
+    ]
+    for s in sites:
+        sim.add_node(s)
+        for _ in range(rps):
+            sim.schedule(0.0, s.submit_request)
+    sim.start()
+    sim.run(until=1_000_000.0)
+    return collector
+
+
+def test_paper_literal_rule_deadlocks_in_simulation():
+    collector = run_sim(PaperLiteralSite)
+    with pytest.raises(DeadlockError):
+        check_progress(collector.records, context="paper-literal C.2")
+
+
+def test_shipped_protocol_survives_the_same_run():
+    collector = run_sim(CaoSinghalSite)
+    check_progress(collector.records)
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_SLOW"),
+    reason="exhaustive exploration takes ~40s; set REPRO_SLOW=1 to run",
+)
+def test_explorer_proves_the_gap():
+    import repro.verify.explore as ex
+
+    class PaperExploreSite(ex._ExploreSite, PaperLiteralSite):
+        pass
+
+    original = ex._ExploreSite
+    ex._ExploreSite = PaperExploreSite
+    try:
+        with pytest.raises(DeadlockError):
+            ex.explore(
+                [{3, 4}, {3, 4}, {3, 4}, {3}, {4}],
+                [1, 1, 1, 0, 0],
+                max_states=3_000_000,
+            )
+    finally:
+        ex._ExploreSite = original

@@ -1,0 +1,90 @@
+"""Unit tests for availability analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quorums.availability import (
+    availability_curve,
+    exact_availability,
+    monte_carlo_availability,
+    node_resilience,
+)
+from repro.quorums.grid import GridQuorumSystem
+from repro.quorums.majority import MajorityQuorumSystem
+from repro.quorums.singleton import SingletonQuorumSystem
+from repro.quorums.tree import TreeQuorumSystem
+
+
+def test_singleton_availability_is_p():
+    s = SingletonQuorumSystem(3)
+    for p in (0.0, 0.3, 0.9, 1.0):
+        assert exact_availability(s, p) == pytest.approx(p)
+
+
+def test_majority_availability_closed_form():
+    # 3-site majority: p^3 + 3 p^2 (1-p).
+    m = MajorityQuorumSystem(3)
+    for p in (0.5, 0.8):
+        expected = p**3 + 3 * p**2 * (1 - p)
+        assert exact_availability(m, p) == pytest.approx(expected)
+
+
+def test_availability_edges():
+    g = GridQuorumSystem(4)
+    assert exact_availability(g, 1.0) == pytest.approx(1.0)
+    assert exact_availability(g, 0.0) == pytest.approx(0.0)
+
+
+def test_availability_monotone_in_p():
+    t = TreeQuorumSystem(7)
+    values = [exact_availability(t, p) for p in (0.3, 0.5, 0.7, 0.9)]
+    assert values == sorted(values)
+
+
+def test_majority_beats_singleton_at_high_p():
+    n = 5
+    m = MajorityQuorumSystem(n)
+    s = SingletonQuorumSystem(n)
+    assert exact_availability(m, 0.9) > exact_availability(s, 0.9)
+
+
+def test_monte_carlo_close_to_exact():
+    m = MajorityQuorumSystem(5)
+    exact = exact_availability(m, 0.8)
+    estimate = monte_carlo_availability(m, 0.8, samples=4000, seed=1)
+    assert estimate == pytest.approx(exact, abs=0.03)
+
+
+def test_monte_carlo_deterministic_for_seed():
+    g = GridQuorumSystem(9)
+    a = monte_carlo_availability(g, 0.7, samples=500, seed=9)
+    b = monte_carlo_availability(g, 0.7, samples=500, seed=9)
+    assert a == b
+
+
+def test_curve_switches_estimators():
+    small = availability_curve(MajorityQuorumSystem(5), [0.5, 0.9])
+    assert [pt.p for pt in small] == [0.5, 0.9]
+    large = availability_curve(
+        MajorityQuorumSystem(25), [0.9], samples=200, seed=3
+    )
+    assert 0.0 <= large[0].availability <= 1.0
+
+
+def test_parameter_validation():
+    m = MajorityQuorumSystem(3)
+    with pytest.raises(ConfigurationError):
+        exact_availability(m, 1.5)
+    with pytest.raises(ConfigurationError):
+        monte_carlo_availability(m, 0.5, samples=0)
+    with pytest.raises(ConfigurationError):
+        exact_availability(MajorityQuorumSystem(21), 0.5)  # too large for exact
+
+
+def test_node_resilience_values():
+    assert node_resilience(MajorityQuorumSystem(5)) == 2
+    assert node_resilience(SingletonQuorumSystem(3)) == 0
+    # 2x2 grid: any single failure still leaves a (row, col) pair.
+    assert node_resilience(GridQuorumSystem(4)) >= 1

@@ -1,0 +1,175 @@
+"""Unit tests for hierarchical, majority, singleton, wheel, grid-set, RST."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quorums.gridset import GridSetQuorumSystem
+from repro.quorums.hierarchical import HierarchicalQuorumSystem
+from repro.quorums.majority import MajorityQuorumSystem
+from repro.quorums.rst import RSTQuorumSystem
+from repro.quorums.singleton import SingletonQuorumSystem
+from repro.quorums.wheel import WheelQuorumSystem
+
+ALL_N = [3, 4, 5, 7, 9, 12, 16, 20, 27]
+
+
+# -- hierarchical ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", ALL_N)
+def test_hierarchical_intersection(n):
+    HierarchicalQuorumSystem(n).validate()
+
+
+def test_hierarchical_sublinear_size():
+    hq = HierarchicalQuorumSystem(81)
+    k = hq.mean_quorum_size()
+    assert k < 81 / 2 + 1  # beats majority
+    assert k >= 81 ** 0.5  # but costs more than a grid (N^0.63 > N^0.5)
+
+
+def test_hierarchical_even_branching_rejected():
+    with pytest.raises(ConfigurationError):
+        HierarchicalQuorumSystem(9, branching=2)
+
+
+def test_hierarchical_tolerates_minorities():
+    hq = HierarchicalQuorumSystem(9)
+    q = hq.quorum_avoiding(0, frozenset({1, 4}))
+    assert q is not None and not (q & {1, 4})
+
+
+def test_hierarchical_prefers_own_site():
+    hq = HierarchicalQuorumSystem(27)
+    for s in (0, 13, 26):
+        assert s in hq.quorum_for(s)
+
+
+# -- majority ------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", ALL_N)
+def test_majority_intersection_and_size(n):
+    m = MajorityQuorumSystem(n)
+    m.validate()
+    assert m.quorum_size == n // 2 + 1
+    for s in m.sites:
+        assert len(m.quorum_for(s)) == m.quorum_size
+        assert s in m.quorum_for(s)
+
+
+def test_majority_is_maximally_resilient():
+    m = MajorityQuorumSystem(7)
+    assert m.quorum_avoiding(0, frozenset({1, 2, 3})) is not None
+    assert m.quorum_avoiding(0, frozenset({1, 2, 3, 4})) is None
+
+
+def test_majority_balanced_load():
+    m = MajorityQuorumSystem(8)
+    degrees = [m.coterie().degree_of(s) for s in m.sites]
+    # Ring construction: every site carries similar load.
+    assert max(degrees) - min(degrees) <= 1 or len(set(degrees)) <= 2
+
+
+# -- singleton -----------------------------------------------------------------
+
+
+def test_singleton_quorums():
+    s = SingletonQuorumSystem(5, arbiter=2)
+    s.validate()
+    for site in s.sites:
+        assert s.quorum_for(site) == {2}
+    assert s.quorum_avoiding(0, frozenset({2})) is None
+    assert s.quorum_avoiding(0, frozenset({1})) == {2}
+
+
+def test_singleton_arbiter_bounds():
+    with pytest.raises(ConfigurationError):
+        SingletonQuorumSystem(3, arbiter=3)
+
+
+# -- wheel ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("n", [2, 3, 5, 9])
+def test_wheel_intersection(n):
+    WheelQuorumSystem(n).validate()
+
+
+def test_wheel_small_quorums_with_hub():
+    w = WheelQuorumSystem(9)
+    for s in w.sites:
+        q = w.quorum_for(s)
+        assert w.hub in q
+        assert len(q) == 2
+
+
+def test_wheel_hub_failure_falls_back_to_rim():
+    w = WheelQuorumSystem(5)
+    q = w.quorum_avoiding(1, frozenset({0}))
+    assert q == {1, 2, 3, 4}
+    # A rim failure alongside the hub kills the fallback quorum.
+    assert w.quorum_avoiding(1, frozenset({0, 2})) is None
+
+
+def test_wheel_coterie_includes_rim_quorum():
+    w = WheelQuorumSystem(4)
+    assert frozenset({1, 2, 3}) in w.coterie().quorums
+
+
+def test_wheel_needs_two_sites():
+    with pytest.raises(ConfigurationError):
+        WheelQuorumSystem(1)
+
+
+# -- grid-set and RST (Section 6 two-level constructions) ------------------------
+
+
+@pytest.mark.parametrize("n", [4, 6, 9, 12, 16, 20, 25])
+def test_gridset_intersection(n):
+    GridSetQuorumSystem(n).validate()
+
+
+@pytest.mark.parametrize("n", [4, 6, 9, 12, 16, 20, 25])
+def test_rst_intersection(n):
+    RSTQuorumSystem(n).validate()
+
+
+def test_gridset_masks_group_minority_failures():
+    gs = GridSetQuorumSystem(16, group_size=4)
+    # Kill one whole group: a majority of the other groups still works.
+    q = gs.quorum_avoiding(12, frozenset({0, 1, 2, 3}))
+    assert q is not None and not (q & {0, 1, 2, 3})
+
+
+def test_rst_masks_subgroup_minorities_without_recovery():
+    rst = RSTQuorumSystem(12, subgroup_size=3)
+    # One failure in each subgroup is a minority everywhere.
+    failed = frozenset({0, 3, 6, 9})
+    q = rst.quorum_avoiding(1, failed)
+    assert q is not None and not (q & failed)
+
+
+def test_two_level_cross_intersection_under_failures():
+    """Quorums computed under *different* failure views still intersect."""
+    for system in (GridSetQuorumSystem(12, 3), RSTQuorumSystem(12, 3)):
+        views = [frozenset(), frozenset({0}), frozenset({5}), frozenset({0, 7})]
+        quorums = []
+        for site in (1, 4, 8, 11):
+            for view in views:
+                q = system.quorum_avoiding(site, view)
+                if q is not None:
+                    quorums.append(q)
+        for a, b in itertools.combinations(quorums, 2):
+            assert a & b
+
+
+def test_group_size_validation():
+    with pytest.raises(ConfigurationError):
+        GridSetQuorumSystem(9, group_size=0)
+    with pytest.raises(ConfigurationError):
+        RSTQuorumSystem(9, subgroup_size=-1)

@@ -1,0 +1,109 @@
+"""Unit tests for the finite-projective-plane construction."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quorums.fpp import FPPQuorumSystem, plane_order_for
+
+
+@pytest.mark.parametrize("n,q", [(7, 2), (13, 3), (31, 5), (57, 7)])
+def test_plane_order(n, q):
+    assert plane_order_for(n) == q
+
+
+@pytest.mark.parametrize("bad", [1, 6, 9, 20, 21, 43])
+def test_unsupported_sizes_rejected(bad):
+    # 21 = 4^2+4+1 but 4 is not prime; 43 = 6^2+6+1 and no order-6 plane
+    # exists; the others are not of the q^2+q+1 shape at all.
+    with pytest.raises(ConfigurationError):
+        FPPQuorumSystem(bad)
+
+
+@pytest.mark.parametrize("n", [7, 13, 31])
+def test_intersection_and_validation(n):
+    FPPQuorumSystem(n).validate()
+
+
+@pytest.mark.parametrize("n", [7, 13, 31, 57])
+def test_quorum_size_is_q_plus_one_ish(n):
+    f = FPPQuorumSystem(n)
+    q = f.order
+    for s in f.sites:
+        # Line size q+1, plus possibly the self-insertion.
+        assert q + 1 <= len(f.quorum_for(s)) <= q + 2
+    assert f.mean_quorum_size() == pytest.approx(math.sqrt(n), rel=0.35)
+
+
+def test_every_site_in_own_quorum():
+    f = FPPQuorumSystem(13)
+    for s in f.sites:
+        assert s in f.quorum_for(s)
+
+
+def test_lines_pairwise_intersect_in_exactly_one_structural_point():
+    """Before the self-insertion, any two lines share exactly one point —
+    the projective-plane property Maekawa's construction is built on."""
+    from repro.quorums.fpp import _normalized_points
+
+    q = 3
+    points = _normalized_points(q)
+    lines = [
+        frozenset(
+            j
+            for j, pt in enumerate(points)
+            if (pt[0] * ln[0] + pt[1] * ln[1] + pt[2] * ln[2]) % q == 0
+        )
+        for ln in points
+    ]
+    for a, b in itertools.combinations(lines, 2):
+        assert len(a & b) == 1
+
+
+def test_balanced_arbitration_load():
+    f = FPPQuorumSystem(31)
+    degrees = [sum(1 for s in f.sites if s2 in f.quorum_for(s)) for s2 in f.sites]
+    # Perfectly balanced up to the self-insertion (each site in q+1 or
+    # q+2 quorums).
+    assert max(degrees) - min(degrees) <= 1
+
+
+def test_quorum_avoiding_failures():
+    f = FPPQuorumSystem(13)
+    q = f.quorum_avoiding(0, frozenset({1, 2}))
+    assert q is not None and not (q & {1, 2})
+    # Plane quorums are fragile: enough failures kill every line.
+    all_but_three = frozenset(range(10))
+    assert f.quorum_avoiding(11, all_but_three) is None
+
+
+def test_runs_under_the_core_algorithm():
+    from repro.experiments.runner import RunConfig, run_mutex
+    from repro.sim.network import ConstantDelay
+    from repro.workload.driver import SaturationWorkload
+
+    summaries = {}
+    for algorithm in ("cao-singhal", "maekawa"):
+        summaries[algorithm] = run_mutex(
+            RunConfig(
+                algorithm=algorithm,
+                n_sites=13,
+                quorum="fpp",
+                seed=2,
+                delay_model=ConstantDelay(1.0),
+                cs_duration=1.0,
+                workload=SaturationWorkload(8),
+            )
+        ).summary
+    proposed, maekawa = summaries["cao-singhal"], summaries["maekawa"]
+    assert proposed.unserved == 0
+    # Plane quorums intersect in a single site, so fewer handoffs ride the
+    # fast path than with grids (some replies arrive via yield chains):
+    # the delay lands between T and Maekawa's 2T, much closer to T.
+    assert proposed.sync_delay.p50 == pytest.approx(1.0, abs=1e-6)
+    assert proposed.sync_delay_in_t < 1.4
+    assert maekawa.sync_delay_in_t > 1.9

@@ -1,0 +1,75 @@
+"""Unit tests for Maekawa grid quorums."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quorums.grid import GridQuorumSystem
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 7, 9, 12, 16, 23, 25, 49, 100])
+def test_intersection_for_many_sizes(n):
+    GridQuorumSystem(n).validate()
+
+
+def test_perfect_square_geometry():
+    g = GridQuorumSystem(9)
+    assert (g.rows, g.cols) == (3, 3)
+    assert g.position(4) == (1, 1)
+    assert g.row_members(1) == {3, 4, 5}
+    assert g.col_members(1) == {1, 4, 7}
+    assert g.quorum_for(4) == {3, 4, 5, 1, 7}
+
+
+def test_quorum_size_is_order_sqrt_n():
+    for n in (16, 25, 100, 225):
+        g = GridQuorumSystem(n)
+        k = g.mean_quorum_size()
+        assert k == pytest.approx(2 * math.sqrt(n) - 1, rel=0.15)
+
+
+def test_partial_last_row_still_intersects():
+    g = GridQuorumSystem(7)  # 3 columns, last row has one site
+    g.validate()
+    assert g.quorum_for(6)  # the lonely site still has a quorum
+
+
+def test_own_site_always_in_quorum():
+    g = GridQuorumSystem(12)
+    for s in g.sites:
+        assert s in g.quorum_for(s)
+
+
+def test_position_bounds_checked():
+    g = GridQuorumSystem(9)
+    with pytest.raises(ConfigurationError):
+        g.position(9)
+
+
+def test_avoiding_failed_row_and_column():
+    g = GridQuorumSystem(9)
+    # Fail site 4 (center): quorums through row 1 / col 1 must reroute.
+    q = g.quorum_avoiding(4, frozenset({4}))
+    assert q is not None
+    assert 4 not in q
+    # Two failures in one row: another full row + an untouched column work.
+    q = g.quorum_avoiding(8, frozenset({0, 1}))
+    assert q is not None and not (q & {0, 1})
+
+
+def test_avoiding_impossible_patterns_return_none():
+    g = GridQuorumSystem(9)
+    # One failure per row kills every full row.
+    assert g.quorum_avoiding(0, frozenset({0, 4, 8})) is None
+    # A full dead row wounds every column, so row+column quorums die too —
+    # exactly the fragility Section 6's constructions fix.
+    assert g.quorum_avoiding(8, frozenset({0, 1, 2})) is None
+
+
+def test_custom_cols():
+    g = GridQuorumSystem(8, cols=4)
+    assert (g.rows, g.cols) == (2, 4)
+    g.validate()

@@ -1,0 +1,61 @@
+"""Unit tests for the quorum-system registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quorums.coterie import QuorumSystem
+from repro.quorums.registry import (
+    make_quorum_system,
+    quorum_system_names,
+    register_quorum_system,
+)
+
+
+def test_all_registered_names_construct_and_validate():
+    for name in quorum_system_names():
+        # Size-constrained constructions (projective planes) only exist
+        # for special N; give each name a size it supports.
+        n = 13 if name == "fpp" else 9
+        qs = make_quorum_system(name, n)
+        assert isinstance(qs, QuorumSystem)
+        qs.validate()
+
+
+def test_expected_names_present():
+    names = quorum_system_names()
+    for expected in ("grid", "tree", "hierarchical", "majority", "singleton",
+                     "wheel", "grid-set", "rst", "fpp"):
+        assert expected in names
+
+
+def test_unknown_name_raises_with_suggestions():
+    with pytest.raises(ConfigurationError) as err:
+        make_quorum_system("nope", 9)
+    assert "grid" in str(err.value)
+
+
+def test_kwargs_forwarded():
+    qs = make_quorum_system("singleton", 5, arbiter=3)
+    assert qs.quorum_for(0) == {3}
+
+
+def test_custom_registration_and_duplicate_rejection():
+    class Custom(QuorumSystem):
+        name = "custom-test"
+
+        def quorum_for(self, site):
+            return frozenset(range(self.n))
+
+    register_quorum_system("custom-test", Custom)
+    try:
+        qs = make_quorum_system("custom-test", 4)
+        assert qs.quorum_for(0) == {0, 1, 2, 3}
+        with pytest.raises(ConfigurationError):
+            register_quorum_system("custom-test", Custom)
+    finally:
+        # Keep the global registry clean for other tests.
+        from repro.quorums import registry
+
+        registry._REGISTRY.pop("custom-test", None)

@@ -1,0 +1,116 @@
+"""Tests for coterie theory: transversals, domination, composition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.quorums.coterie import Coterie
+from repro.quorums.majority import MajorityQuorumSystem
+from repro.quorums.theory import (
+    compose,
+    coterie_degree_profile,
+    dominating_extension,
+    is_nondominated,
+    minimal_transversals,
+)
+
+
+def C(*quorums, **kw):
+    return Coterie([set(q) for q in quorums], require_minimality=False, **kw)
+
+
+# -- transversals -----------------------------------------------------------------
+
+
+def test_transversals_of_singleton():
+    assert minimal_transversals(C({0})) == [frozenset({0})]
+
+
+def test_transversals_of_paper_example():
+    # C = {{a,b},{b,c}}: minimal hitting sets are {b} and {a,c}.
+    trs = minimal_transversals(C({0, 1}, {1, 2}))
+    assert trs == [frozenset({1}), frozenset({0, 2})]
+
+
+def test_transversals_of_majority_3():
+    # 2-of-3 majority is self-dual: transversals are the quorums.
+    coterie = C({0, 1}, {0, 2}, {1, 2})
+    trs = minimal_transversals(coterie)
+    assert set(trs) == set(coterie.quorums)
+
+
+def test_transversals_are_minimal_and_hitting():
+    coterie = MajorityQuorumSystem(5).coterie()
+    for t in minimal_transversals(coterie):
+        assert all(t & q for q in coterie.quorums)
+        for site in t:
+            smaller = t - {site}
+            assert not all(smaller & q for q in coterie.quorums)
+
+
+# -- non-domination ----------------------------------------------------------------
+
+
+def test_majority_is_nondominated():
+    assert is_nondominated(C({0, 1}, {0, 2}, {1, 2}))
+
+
+def test_singleton_is_nondominated():
+    assert is_nondominated(C({0}, universe={0, 1, 2}))
+
+
+def test_paper_example_is_dominated():
+    # {{a,b},{b,c}}: transversal {b} contains no quorum -> dominated.
+    assert not is_nondominated(C({0, 1}, {1, 2}))
+
+
+def test_dominating_extension_improves_availability():
+    original = C({0, 1}, {1, 2})
+    better = dominating_extension(original)
+    assert better is not None
+    assert better.dominates(original)
+    # The classic dominating coterie: {{b}, ...}.
+    assert frozenset({1}) in better.quorums
+    # A non-dominated coterie has no extension.
+    assert dominating_extension(C({0, 1}, {0, 2}, {1, 2})) is None
+
+
+def test_wheel_coterie_is_nondominated():
+    from repro.quorums.wheel import WheelQuorumSystem
+
+    assert is_nondominated(WheelQuorumSystem(5).coterie())
+
+
+# -- composition -------------------------------------------------------------------
+
+
+def test_compose_replaces_site_with_subcoterie():
+    outer = C({0, 1}, {0, 2}, {1, 2})          # majority over {0,1,2}
+    inner = C({10, 11}, {10, 12}, {11, 12})    # majority over {10,11,12}
+    composed = compose(outer, at_site=0, inner=inner)
+    # Every old quorum through 0 now goes through a majority of the
+    # sub-coterie; intersection still holds (validated on construction).
+    assert frozenset({1, 2}) in composed.quorums
+    assert frozenset({1, 10, 11}) in composed.quorums
+    assert composed.universe == frozenset({1, 2, 10, 11, 12})
+
+
+def test_compose_preserves_nondomination():
+    nd = C({0, 1}, {0, 2}, {1, 2})
+    inner = C({10, 11}, {10, 12}, {11, 12})
+    assert is_nondominated(compose(nd, 0, inner))
+
+
+def test_compose_validations():
+    outer = C({0, 1}, {1, 2})
+    overlapping = C({1, 5})
+    with pytest.raises(ConfigurationError):
+        compose(outer, 0, overlapping)  # inner universe overlaps outer
+    with pytest.raises(ConfigurationError):
+        compose(outer, 9, C({10}))  # site not in outer universe
+
+
+def test_degree_profile():
+    profile = coterie_degree_profile(C({0, 1}, {1, 2}, universe={0, 1, 2, 3}))
+    assert profile == [2, 1, 1, 0]

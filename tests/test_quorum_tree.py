@@ -1,0 +1,83 @@
+"""Unit tests for Agrawal–El Abbadi tree quorums."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.quorums.tree import TreeQuorumSystem
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 7, 10, 15, 31, 40])
+def test_intersection_failure_free(n):
+    TreeQuorumSystem(n).validate()
+
+
+def test_quorum_is_log_sized_failure_free():
+    t = TreeQuorumSystem(31)  # full tree of depth 5
+    for s in t.sites:
+        assert len(t.quorum_for(s)) == 5  # root-to-leaf path length
+
+
+def test_quorum_contains_root_and_a_leaf():
+    t = TreeQuorumSystem(15)
+    for s in t.sites:
+        q = t.quorum_for(s)
+        assert 0 in q
+        assert any(t.is_leaf(x) for x in q)
+        assert s in q  # path routed through the requester
+
+
+def test_path_to_root():
+    t = TreeQuorumSystem(15)
+    assert t.path_to_root(12) == [0, 2, 5, 12]
+    assert t.path_to_root(0) == [0]
+
+
+def test_children_and_leaves():
+    t = TreeQuorumSystem(10)
+    assert t.children(0) == [1, 2]
+    assert t.children(4) == [9]  # partial tree: one child
+    assert t.is_leaf(9)
+    assert not t.is_leaf(4)
+
+
+def test_root_failure_substitution():
+    t = TreeQuorumSystem(7)
+    q = t.quorum_avoiding(1, frozenset({0}))
+    assert q is not None
+    assert 0 not in q
+    # Root replaced by paths through BOTH children.
+    assert q & {1, 3, 4}
+    assert q & {2, 5, 6}
+
+
+def test_deep_failures_eventually_unavailable():
+    t = TreeQuorumSystem(7)
+    # Kill the root and one entire child subtree: no quorum can exist.
+    assert t.quorum_avoiding(5, frozenset({0, 1, 3, 4})) is None
+
+
+def test_all_failure_patterns_pairwise_intersect():
+    """AA Theorem 1: any two constructible quorums intersect, under any
+    (possibly different) failure knowledge."""
+    t = TreeQuorumSystem(7)
+    sites = list(t.sites)
+    patterns = [frozenset(c) for r in range(3) for c in itertools.combinations(sites, r)]
+    quorums = []
+    for failed in patterns:
+        q = t.quorum_avoiding(0, failed)
+        if q is not None:
+            quorums.append(q)
+    for a, b in itertools.combinations(quorums, 2):
+        assert a & b, f"{sorted(a)} and {sorted(b)} are disjoint"
+
+
+def test_degraded_quorum_grows():
+    t = TreeQuorumSystem(15)
+    healthy = t.quorum_avoiding(3, frozenset())
+    degraded = t.quorum_avoiding(3, frozenset({0}))
+    assert degraded is not None and healthy is not None
+    assert len(degraded) > len(healthy)

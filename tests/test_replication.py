@@ -1,0 +1,166 @@
+"""Tests for the quorum replica-control layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.quorums import MajorityQuorumSystem, TreeQuorumSystem, make_quorum_system
+from repro.replication import LockedRegisterSite, ReplicaSite, ZERO_VERSION
+from repro.sim import ConstantDelay, ExponentialDelay, Simulator
+
+
+def build_replicas(n=5, quorum_name="majority", seed=0, delay=None, initial=0):
+    qs = make_quorum_system(quorum_name, n)
+    sim = Simulator(seed=seed, delay_model=delay or ConstantDelay(1.0))
+    sites = [
+        ReplicaSite(i, qs.quorum_for(i), initial_value=initial) for i in range(n)
+    ]
+    for s in sites:
+        sim.add_node(s)
+    sim.start()
+    return sim, sites
+
+
+# -- basic register behaviour ------------------------------------------------------
+
+
+def test_initial_read_returns_initial_value():
+    sim, sites = build_replicas(initial=42)
+    got = []
+    sites[0].read(lambda value, version: got.append((value, version)))
+    sim.run()
+    assert got == [(42, ZERO_VERSION)]
+
+
+def test_write_then_read_returns_written_value():
+    sim, sites = build_replicas()
+    sites[0].write("hello")
+    sim.run()
+    got = []
+    sites[3].read(lambda value, version: got.append((value, version)))
+    sim.run()
+    assert got[0][0] == "hello"
+    assert got[0][1] == (1, 0)
+
+
+def test_sequential_writes_version_monotone():
+    sim, sites = build_replicas()
+    versions = []
+    sites[0].write("a", versions.append)
+    sim.run()
+    sites[1].write("b", versions.append)
+    sim.run()
+    assert versions == [(1, 0), (2, 1)]
+    got = []
+    sites[4].read(lambda value, version: got.append(value))
+    sim.run()
+    assert got == ["b"]
+
+
+def test_read_sees_latest_even_from_partial_replicas():
+    """The writer's quorum and the reader's quorum differ but intersect."""
+    sim, sites = build_replicas(n=7, quorum_name="tree")
+    sites[6].write("deep")
+    sim.run()
+    for reader in (0, 3, 5):
+        got = []
+        sites[reader].read(lambda value, version: got.append(value))
+        sim.run()
+        assert got == ["deep"], f"reader {reader}"
+
+
+def test_write_counts_and_idempotent_acks():
+    sim, sites = build_replicas()
+    sites[0].write("x")
+    sim.run()
+    assert sites[0].writes_completed == 1
+    assert sites[0].reads_completed == 0  # phase-1 reads are not user reads
+
+
+def test_write_of_none_value_is_a_real_write():
+    sim, sites = build_replicas(initial="seed")
+    sites[0].write(None)
+    sim.run()
+    got = []
+    sites[2].read(lambda value, version: got.append((value, version)))
+    sim.run()
+    assert got[0] == (None, (1, 0))
+
+
+def test_concurrent_unguarded_increments_can_lose_updates():
+    """The anomaly that motivates the mutex pairing: two read-modify-write
+    increments race, both read version 0, one overwrites the other."""
+    sim, sites = build_replicas(initial=0)
+    done = []
+
+    def increment(site):
+        site.read(
+            lambda value, version: site.write(value + 1, lambda v: done.append(v))
+        )
+
+    increment(sites[0])
+    increment(sites[4])
+    sim.run()
+    final = []
+    sites[2].read(lambda value, version: final.append(value))
+    sim.run()
+    assert len(done) == 2
+    assert final[0] == 1  # one increment lost: 2 RMWs, final value 1
+
+
+# -- the locked register (paper Section 7 pairing) ----------------------------------
+
+
+def build_locked(n=7, seed=0, delay=None, initial=0):
+    lock_qs = TreeQuorumSystem(n)
+    data_qs = MajorityQuorumSystem(n)
+    sim = Simulator(seed=seed, delay_model=delay or ConstantDelay(1.0))
+    sites = [
+        LockedRegisterSite(
+            i,
+            lock_quorum=lock_qs.quorum_for(i),
+            data_quorum=data_qs.quorum_for(i),
+            initial_value=initial,
+        )
+        for i in range(n)
+    ]
+    for s in sites:
+        sim.add_node(s)
+    sim.start()
+    return sim, sites
+
+
+def test_locked_increments_lose_nothing():
+    sim, sites = build_locked()
+    per_site = 4
+    for site in sites:
+        for _ in range(per_site):
+            site.submit_update(lambda v: v + 1)
+    sim.run(until=500_000)
+    assert sim.pending_events() == 0
+    total = per_site * len(sites)
+    assert sum(s.updates_completed for s in sites) == total
+    got = []
+    sites[0].read(lambda value, version: got.append((value, version)))
+    sim.run()
+    assert got[0][0] == total  # every increment survived
+    assert got[0][1][0] == total  # one version per update
+
+
+def test_locked_updates_under_random_delays():
+    sim, sites = build_locked(seed=3, delay=ExponentialDelay(1.0))
+    for site in sites:
+        site.submit_update(lambda v: v + 10)
+    sim.run(until=500_000)
+    got = []
+    sites[3].read(lambda value, version: got.append(value))
+    sim.run()
+    assert got == [70]
+
+
+def test_locked_update_callback_reports_value_and_version():
+    sim, sites = build_locked(initial=5)
+    results = []
+    sites[2].submit_update(lambda v: v * 2, lambda value, version: results.append((value, version)))
+    sim.run()
+    assert results == [(10, (1, 2))]

@@ -1,0 +1,83 @@
+"""Unit tests for the event queue (ordering, cancellation, accounting)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.event import Event, EventQueue
+
+
+def test_empty_queue_pops_none():
+    q = EventQueue()
+    assert q.pop() is None
+    assert len(q) == 0
+    assert not q
+
+
+def test_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, lambda: fired.append("c"))
+    q.push(1.0, lambda: fired.append("a"))
+    q.push(2.0, lambda: fired.append("b"))
+    while (event := q.pop()) is not None:
+        event.action()
+    assert fired == ["a", "b", "c"]
+
+
+def test_ties_break_by_scheduling_order():
+    q = EventQueue()
+    fired = []
+    for tag in range(10):
+        q.push(5.0, lambda t=tag: fired.append(t))
+    while (event := q.pop()) is not None:
+        event.action()
+    assert fired == list(range(10))
+
+
+def test_len_counts_live_events():
+    q = EventQueue()
+    handles = [q.push(float(i), lambda: None) for i in range(4)]
+    assert len(q) == 4
+    handles[1].cancel()
+    assert len(q) == 3  # cancellation visible immediately in accounting
+
+
+def test_cancelled_event_does_not_fire():
+    q = EventQueue()
+    fired = []
+    keep = q.push(1.0, lambda: fired.append("keep"))
+    drop = q.push(0.5, lambda: fired.append("drop"))
+    drop.cancel()
+    while (event := q.pop()) is not None:
+        event.action()
+    assert fired == ["keep"]
+    assert keep.cancelled is False
+
+
+def test_peek_time_skips_cancelled():
+    q = EventQueue()
+    first = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    assert q.peek_time() == 1.0
+    first.cancel()
+    assert q.peek_time() == 2.0
+
+
+def test_peek_time_empty_queue():
+    assert EventQueue().peek_time() is None
+
+
+def test_event_ordering_dataclass():
+    a = Event(time=1.0, seq=0, action=lambda: None)
+    b = Event(time=1.0, seq=1, action=lambda: None)
+    c = Event(time=2.0, seq=0, action=lambda: None)
+    assert a < b < c
+
+
+def test_bool_reflects_liveness():
+    q = EventQueue()
+    handle = q.push(1.0, lambda: None)
+    assert q
+    handle.cancel()
+    assert not q

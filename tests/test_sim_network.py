@@ -1,0 +1,164 @@
+"""Unit tests for delay models and the FIFO network."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.network import (
+    ConstantDelay,
+    Envelope,
+    ExponentialDelay,
+    UniformDelay,
+)
+from repro.sim.simulator import Simulator
+from repro.sim.node import Node
+
+
+class Sink(Node):
+    """Records every delivered payload with its arrival time."""
+
+    def __init__(self, site_id):
+        super().__init__(site_id)
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((self.now, src, message))
+
+
+def make_pair(delay_model, seed=0):
+    sim = Simulator(seed=seed, delay_model=delay_model)
+    a, b = Sink(0), Sink(1)
+    sim.add_node(a)
+    sim.add_node(b)
+    sim.start()
+    return sim, a, b
+
+
+# -- delay models -------------------------------------------------------------
+
+
+def test_constant_delay_mean_and_sample():
+    model = ConstantDelay(2.5)
+    assert model.mean == 2.5
+    assert model.sample(random.Random(0), 0, 1) == 2.5
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_constant_delay_rejects_nonpositive(bad):
+    with pytest.raises(ConfigurationError):
+        ConstantDelay(bad)
+
+
+def test_uniform_delay_bounds_and_mean():
+    model = UniformDelay(0.5, 1.5)
+    rng = random.Random(1)
+    samples = [model.sample(rng, 0, 1) for _ in range(200)]
+    assert all(0.5 <= s <= 1.5 for s in samples)
+    assert model.mean == 1.0
+
+
+def test_uniform_delay_rejects_bad_bounds():
+    with pytest.raises(ConfigurationError):
+        UniformDelay(2.0, 1.0)
+    with pytest.raises(ConfigurationError):
+        UniformDelay(0.0, 1.0)
+
+
+def test_exponential_delay_floor_and_mean():
+    model = ExponentialDelay(mean=1.0, floor=0.1)
+    rng = random.Random(2)
+    samples = [model.sample(rng, 0, 1) for _ in range(2000)]
+    assert all(s >= 0.1 for s in samples)
+    assert abs(sum(samples) / len(samples) - 1.0) < 0.1
+    assert model.mean == 1.0
+
+
+def test_exponential_delay_rejects_mean_below_floor():
+    with pytest.raises(ConfigurationError):
+        ExponentialDelay(mean=0.01, floor=0.05)
+
+
+# -- network behaviour --------------------------------------------------------
+
+
+def test_basic_delivery_and_latency():
+    sim, a, b = make_pair(ConstantDelay(1.0))
+    a.send(1, "hello")
+    sim.run()
+    assert b.received == [(1.0, 0, "hello")]
+    assert sim.network.stats.messages_sent == 1
+    assert sim.network.stats.messages_delivered == 1
+
+
+def test_fifo_per_channel_even_with_random_delays():
+    sim, a, b = make_pair(ExponentialDelay(1.0), seed=5)
+    for i in range(50):
+        a.send(1, i)
+    sim.run()
+    assert [payload for (_, _, payload) in b.received] == list(range(50))
+
+
+def test_self_send_is_free_and_local():
+    sim, a, b = make_pair(ConstantDelay(1.0))
+    a.send(0, "me")
+    sim.run()
+    assert a.received[0][1:] == (0, "me")
+    assert sim.network.stats.messages_sent == 0  # no network charge
+
+
+def test_per_type_counting():
+    class Typed:
+        type_name = "probe"
+
+    sim, a, b = make_pair(ConstantDelay(1.0))
+    a.send(1, Typed())
+    a.send(1, Typed())
+    sim.run()
+    assert sim.network.stats.by_type == {"probe": 2}
+
+
+def test_crashed_destination_drops():
+    sim, a, b = make_pair(ConstantDelay(1.0))
+    sim.crash(1)
+    a.send(1, "lost")
+    sim.run()
+    assert b.received == []
+    assert sim.network.stats.messages_dropped == 1
+
+
+def test_in_flight_message_dropped_when_destination_crashes():
+    sim, a, b = make_pair(ConstantDelay(1.0))
+    a.send(1, "doomed")
+    sim.schedule(0.5, lambda: sim.crash(1))
+    sim.run()
+    assert b.received == []
+
+
+def test_severed_link_drops_both_directions():
+    sim, a, b = make_pair(ConstantDelay(1.0))
+    sim.network.sever(0, 1)
+    a.send(1, "x")
+    b.send(0, "y")
+    sim.run()
+    assert a.received == [] and b.received == []
+    sim.network.heal(0, 1)
+    a.send(1, "again")
+    sim.run()
+    assert [p for (_, _, p) in b.received] == ["again"]
+
+
+def test_recovered_site_receives_again():
+    sim, a, b = make_pair(ConstantDelay(1.0))
+    sim.crash(1)
+    sim.recover(1)
+    a.send(1, "back")
+    sim.run()
+    assert [p for (_, _, p) in b.received] == ["back"]
+
+
+def test_mean_delay_exposed():
+    sim, _, _ = make_pair(UniformDelay(1.0, 3.0))
+    assert sim.network.mean_delay == 2.0

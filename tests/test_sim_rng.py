@@ -1,0 +1,44 @@
+"""Unit tests for deterministic seed derivation."""
+
+from __future__ import annotations
+
+from repro.sim.rng import SeedSequence
+
+
+def test_same_name_same_stream():
+    a = SeedSequence(42).derive("network")
+    b = SeedSequence(42).derive("network")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_differ():
+    seq = SeedSequence(42)
+    a = seq.derive("network")
+    b = seq.derive("arrivals/0")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_master_seeds_differ():
+    a = SeedSequence(1).derive("x")
+    b = SeedSequence(2).derive("x")
+    assert a.random() != b.random()
+
+
+def test_spawn_namespaces_are_independent():
+    parent = SeedSequence(7)
+    child1 = parent.spawn("ft")
+    child2 = parent.spawn("workload")
+    assert child1.master_seed != child2.master_seed
+    assert child1.derive("x").random() != child2.derive("x").random()
+
+
+def test_derivation_is_stable_across_instances():
+    # The derivation must be hash-salt independent (pure SHA-256), so two
+    # processes get identical streams; emulate by rebuilding everything.
+    value1 = SeedSequence(99).derive("stable-name").randint(0, 10**9)
+    value2 = SeedSequence(99).derive("stable-name").randint(0, 10**9)
+    assert value1 == value2
+
+
+def test_master_seed_property():
+    assert SeedSequence(123).master_seed == 123

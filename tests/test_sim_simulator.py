@@ -1,0 +1,162 @@
+"""Unit tests for the simulator loop, timers, and failure hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.network import ConstantDelay
+from repro.sim.node import Node
+from repro.sim.simulator import Simulator
+
+
+class Probe(Node):
+    def __init__(self, site_id):
+        super().__init__(site_id)
+        self.started = False
+        self.crashes = 0
+        self.recoveries = 0
+        self.inbox = []
+
+    def on_start(self):
+        self.started = True
+
+    def on_message(self, src, message):
+        self.inbox.append((src, message))
+
+    def on_crash(self):
+        self.crashes += 1
+
+    def on_recover(self):
+        self.recoveries += 1
+
+
+def test_duplicate_site_id_rejected():
+    sim = Simulator()
+    sim.add_node(Probe(0))
+    with pytest.raises(SimulationError):
+        sim.add_node(Probe(0))
+
+
+def test_add_after_start_rejected():
+    sim = Simulator()
+    sim.add_node(Probe(0))
+    sim.start()
+    with pytest.raises(SimulationError):
+        sim.add_node(Probe(1))
+
+
+def test_start_is_idempotent_and_calls_hook():
+    sim = Simulator()
+    node = sim.add_node(Probe(0))
+    sim.start()
+    sim.start()
+    assert node.started
+
+
+def test_schedule_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_run_until_is_inclusive_and_advances_clock():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, lambda: fired.append("at5"))
+    sim.schedule(7.0, lambda: fired.append("at7"))
+    sim.run(until=5.0)
+    assert fired == ["at5"]
+    assert sim.now == 5.0
+    sim.run(until=10.0)
+    assert fired == ["at5", "at7"]
+
+
+def test_run_max_events_budget():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.pending_events() == 7
+
+
+def test_timer_cancellation_via_handle():
+    sim = Simulator()
+    node = sim.add_node(Probe(0))
+    sim.start()
+    fired = []
+    handle = node.set_timer(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_timers_suppressed_while_crashed():
+    sim = Simulator()
+    node = sim.add_node(Probe(0))
+    sim.start()
+    fired = []
+    node.set_timer(1.0, lambda: fired.append("x"))
+    sim.crash(0)
+    sim.run()
+    assert fired == []
+    assert node.crashes == 1
+
+
+def test_crash_and_recover_hooks_fire_once():
+    sim = Simulator()
+    node = sim.add_node(Probe(0))
+    sim.start()
+    sim.crash(0)
+    sim.crash(0)  # idempotent
+    sim.recover(0)
+    sim.recover(0)
+    assert node.crashes == 1
+    assert node.recoveries == 1
+
+
+def test_crashed_sender_sends_nothing():
+    sim = Simulator(delay_model=ConstantDelay(1.0))
+    a, b = Probe(0), Probe(1)
+    sim.add_node(a)
+    sim.add_node(b)
+    sim.start()
+    sim.crash(0)
+    a.send(1, "nope")
+    sim.run()
+    assert b.inbox == []
+
+
+def test_unknown_destination_raises():
+    sim = Simulator(delay_model=ConstantDelay(1.0))
+    a = sim.add_node(Probe(0))
+    sim.start()
+    sim.network.send(0, 99, "ghost", "probe")
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.events_processed == 5
+
+
+def test_deterministic_replay_same_seed():
+    def transcript(seed):
+        sim = Simulator(seed=seed)
+        a, b = Probe(0), Probe(1)
+        sim.add_node(a)
+        sim.add_node(b)
+        sim.start()
+        for i in range(20):
+            a.send(1, i)
+        sim.run()
+        return [(round(t, 12) if isinstance(t, float) else t) for t in [sim.now]], b.inbox
+
+    assert transcript(11) == transcript(11)
+    assert transcript(11) != transcript(12)

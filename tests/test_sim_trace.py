@@ -1,0 +1,55 @@
+"""Unit tests for the trace buffer."""
+
+from __future__ import annotations
+
+from repro.sim.trace import Trace, TraceRecord
+
+
+def test_disabled_trace_records_nothing():
+    trace = Trace(enabled=False)
+    trace.record(1.0, "send", 0, "payload")
+    assert len(trace) == 0
+
+
+def test_capacity_limits_and_counts_drops():
+    trace = Trace(enabled=True, capacity=2)
+    for i in range(5):
+        trace.record(float(i), "send", i)
+    assert len(trace) == 2
+    assert trace.dropped == 3
+
+
+def test_filter_by_kind_site_and_predicate():
+    trace = Trace()
+    trace.record(1.0, "send", 0, "a")
+    trace.record(2.0, "deliver", 1, "b")
+    trace.record(3.0, "send", 1, "c")
+    assert [r.detail for r in trace.filter(kind="send")] == ["a", "c"]
+    assert [r.detail for r in trace.filter(site=1)] == ["b", "c"]
+    assert [r.detail for r in trace.filter(predicate=lambda r: r.time > 1.5)] == [
+        "b",
+        "c",
+    ]
+    assert [r.detail for r in trace.filter(kind="send", site=1)] == ["c"]
+
+
+def test_iteration_preserves_order():
+    trace = Trace()
+    for i in range(4):
+        trace.record(float(i), "k", 0, i)
+    assert [r.detail for r in trace] == [0, 1, 2, 3]
+
+
+def test_dump_renders_tail():
+    trace = Trace()
+    for i in range(10):
+        trace.record(float(i), "send", 0, i)
+    dump = trace.dump(limit=3)
+    assert dump.count("\n") == 2  # three lines
+    assert "send" in dump
+
+
+def test_record_dataclass_str():
+    rec = TraceRecord(time=1.5, kind="cs_enter", site=3)
+    assert "cs_enter" in str(rec)
+    assert "site=3" in str(rec)

@@ -1,0 +1,106 @@
+"""Unit tests for Singhal's heuristic token algorithm."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunConfig, run_mutex
+from repro.mutex.singhal_heuristic import PeerState, SinghalHeuristicSite
+from repro.sim.network import ConstantDelay, ExponentialDelay
+from repro.sim.simulator import Simulator
+from repro.workload.arrivals import PoissonArrivals
+from repro.workload.driver import (
+    OpenLoopWorkload,
+    SaturationWorkload,
+    StaggeredSingleShot,
+)
+
+
+def run(workload, n=8, seed=0, delay=None, cs=0.1):
+    return run_mutex(
+        RunConfig(
+            algorithm="singhal-heuristic",
+            n_sites=n,
+            seed=seed,
+            delay_model=delay or ConstantDelay(1.0),
+            cs_duration=cs,
+            workload=workload,
+        )
+    )
+
+
+def test_staircase_initialization():
+    sim = Simulator()
+    site = SinghalHeuristicSite(3, 6)
+    sim.add_node(site)
+    assert [p.value for p in site.sv] == ["R", "R", "R", "N", "N", "N"]
+    holder = SinghalHeuristicSite(0, 6)
+    assert holder.has_token
+    assert holder.sv[0] is PeerState.HOLDING
+
+
+def test_token_holder_requests_for_free():
+    result = run(StaggeredSingleShot({0: 1.0}))
+    assert result.summary.completed == 1
+    assert result.sim.network.stats.messages_sent == 0
+
+
+def test_first_remote_request_costs_at_most_site_id_plus_token():
+    # Site 3's initial request set is sites 0..2 (staircase), so the first
+    # acquisition costs at most 3 requests + 1 token message.
+    result = run(StaggeredSingleShot({3: 1.0}))
+    assert result.summary.completed == 1
+    assert result.sim.network.stats.messages_sent <= 4
+
+
+def test_heavy_load_messages_bounded_by_n():
+    summary = run(SaturationWorkload(10), n=9).summary
+    assert summary.completed == 90
+    assert summary.messages_per_cs <= 9.0  # paper: between 0 and N
+    assert summary.sync_delay_in_t == pytest.approx(1.0, abs=0.05)
+
+
+def test_cheaper_than_suzuki_kasami_at_heavy_load():
+    sh = run(SaturationWorkload(10), n=9).summary
+    sk = run_mutex(
+        RunConfig(
+            algorithm="suzuki-kasami",
+            n_sites=9,
+            seed=0,
+            delay_model=ConstantDelay(1.0),
+            cs_duration=0.1,
+            workload=SaturationWorkload(10),
+        )
+    ).summary
+    assert sh.messages_per_cs < sk.messages_per_cs
+
+
+def test_light_load_liveness_with_moving_token():
+    """The regime that strands the published heuristic (see module
+    docstring): sparse arrivals after substantial token movement."""
+    result = run(
+        OpenLoopWorkload(PoissonArrivals(0.08), 120.0),
+        delay=ExponentialDelay(1.0),
+        seed=13,
+    )
+    assert result.summary.unserved == 0
+
+
+def test_backstop_not_needed_on_normal_runs():
+    result = run(SaturationWorkload(8), n=8, delay=ExponentialDelay(1.0))
+    assert sum(s.retries for s in result.sites) == 0
+
+
+def test_stale_request_numbers_ignored():
+    sim = Simulator()
+    site = SinghalHeuristicSite(2, 4)
+    sim.add_node(site)
+    sim.start()
+    from repro.mutex.singhal_heuristic import SHRequest
+
+    site.on_message(1, SHRequest(1, 5))
+    assert site.sn[1] == 5
+    assert site.sv[1] is PeerState.REQUESTING
+    site.sv[1] = PeerState.NOT_REQUESTING
+    site.on_message(1, SHRequest(1, 4))  # stale
+    assert site.sv[1] is PeerState.NOT_REQUESTING

@@ -1,0 +1,52 @@
+"""Tests for the ASCII timeline renderer."""
+
+from __future__ import annotations
+
+from repro.metrics.collector import CSRecord
+from repro.metrics.timeline import render_timeline
+
+
+def rec(site, request, enter, exit_):
+    return CSRecord(site=site, request_time=request, enter_time=enter, exit_time=exit_)
+
+
+def test_empty_records():
+    assert "no completed" in render_timeline([])
+
+
+def test_lanes_and_marks():
+    records = [rec(0, 0.0, 1.0, 4.0), rec(1, 2.0, 5.0, 8.0)]
+    text = render_timeline(records, width=40)
+    lines = text.splitlines()
+    assert any("site 0" in line for line in lines)
+    assert any("site 1" in line for line in lines)
+    lane0 = next(line for line in lines if "site 0" in line)
+    lane1 = next(line for line in lines if "site 1" in line)
+    assert "#" in lane0 and "#" in lane1
+    assert "." in lane1  # waiting period before entry
+
+
+def test_mutual_exclusion_visible():
+    """Non-overlapping CS intervals never share a # column across lanes
+    (up to one boundary cell)."""
+    records = [rec(0, 0.0, 0.0, 5.0), rec(1, 0.0, 5.0, 10.0)]
+    text = render_timeline(records, width=50)
+    lines = [l for l in text.splitlines() if "site" in l]
+    lane0 = lines[0].split("|", 1)[1]
+    lane1 = lines[1].split("|", 1)[1]
+    overlap = sum(
+        1 for a, b in zip(lane0, lane1) if a == "#" and b == "#"
+    )
+    assert overlap <= 1
+
+
+def test_window_clamps():
+    records = [rec(0, 0.0, 1.0, 100.0)]
+    text = render_timeline(records, width=30, t_start=0.0, t_end=10.0)
+    assert "#" in text
+
+
+def test_incomplete_records_ignored():
+    records = [rec(0, 0.0, 1.0, 2.0), CSRecord(site=1, request_time=0.5)]
+    text = render_timeline(records)
+    assert "site 1" not in text

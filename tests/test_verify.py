@@ -1,0 +1,65 @@
+"""Unit tests for the verification layer (Theorems 1-3 checkers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeadlockError, MutualExclusionViolation
+from repro.metrics.collector import CSRecord
+from repro.verify.invariants import (
+    check_mutual_exclusion,
+    check_progress,
+    check_sequential_per_site,
+)
+
+
+def rec(site, request, enter=None, exit_=None):
+    return CSRecord(site=site, request_time=request, enter_time=enter, exit_time=exit_)
+
+
+def test_mutual_exclusion_accepts_disjoint_intervals():
+    check_mutual_exclusion([rec(0, 0, 1, 2), rec(1, 0, 3, 4)])
+
+
+def test_mutual_exclusion_flags_overlap():
+    with pytest.raises(MutualExclusionViolation):
+        check_mutual_exclusion([rec(0, 0, 1, 3), rec(1, 0, 2, 4)])
+
+
+def test_mutual_exclusion_allows_zero_gap_boundary():
+    # enter == previous exit is legal (strict overlap is required).
+    check_mutual_exclusion([rec(0, 0, 1, 2), rec(1, 0, 2, 3)])
+
+
+def test_mutual_exclusion_ignores_incomplete():
+    check_mutual_exclusion([rec(0, 0, 1, 3), rec(1, 0)])
+
+
+def test_progress_flags_unserved():
+    with pytest.raises(DeadlockError):
+        check_progress([rec(0, 0)])
+
+
+def test_progress_respects_horizon():
+    # A late request may legitimately still be in flight.
+    check_progress([rec(0, 90)], horizon=50.0)
+    with pytest.raises(DeadlockError):
+        check_progress([rec(0, 10)], horizon=50.0)
+
+
+def test_progress_context_in_message():
+    with pytest.raises(DeadlockError) as err:
+        check_progress([rec(2, 0)], context="maekawa")
+    assert "maekawa" in str(err.value)
+    assert "2" in str(err.value)
+
+
+def test_sequential_per_site_flags_self_overlap():
+    with pytest.raises(MutualExclusionViolation):
+        check_sequential_per_site(
+            [rec(0, 0, 1, 5), rec(0, 2, 6, 7)]  # re-requested inside own CS
+        )
+
+
+def test_sequential_per_site_accepts_back_to_back():
+    check_sequential_per_site([rec(0, 0, 1, 2), rec(0, 2, 3, 4)])

@@ -1,0 +1,135 @@
+"""Unit tests for arrival processes and workload drivers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mutex.base import MutexSite
+from repro.sim.simulator import Simulator
+from repro.workload.arrivals import BurstArrivals, PeriodicArrivals, PoissonArrivals
+from repro.workload.driver import (
+    OpenLoopWorkload,
+    SaturationWorkload,
+    StaggeredSingleShot,
+)
+from repro.workload.scenarios import heavy_load, light_load, moderate_load
+
+
+class CountingSite(MutexSite):
+    """Counts submissions without running any protocol."""
+
+    def __init__(self, site_id):
+        super().__init__(site_id, cs_duration=0.01)
+        self.submissions = 0
+
+    def submit_request(self):
+        self.submissions += 1
+
+    def _begin_request(self):
+        raise AssertionError("not used")
+
+    def _exit_protocol(self):
+        raise AssertionError("not used")
+
+
+def make_sites(n=3):
+    sim = Simulator(seed=5)
+    sites = [sim.add_node(CountingSite(i)) for i in range(n)]
+    sim.start()
+    return sim, sites
+
+
+# -- arrival processes -----------------------------------------------------------
+
+
+def test_poisson_rate_and_horizon():
+    rng = random.Random(0)
+    times = list(PoissonArrivals(rate=2.0).times(rng, horizon=1000.0))
+    assert all(0 < t <= 1000.0 for t in times)
+    assert times == sorted(times)
+    # Expected ~2000 arrivals; allow generous tolerance.
+    assert 1700 < len(times) < 2300
+
+
+def test_poisson_rejects_nonpositive_rate():
+    with pytest.raises(ConfigurationError):
+        PoissonArrivals(0.0)
+
+
+def test_periodic_arrivals_deterministic():
+    times = list(PeriodicArrivals(2.0).times(random.Random(0), 7.0))
+    assert times == [2.0, 4.0, 6.0]
+    offset = list(PeriodicArrivals(2.0, offset=1.0).times(random.Random(0), 6.0))
+    assert offset == [1.0, 3.0, 5.0]
+
+
+def test_burst_arrivals_cluster():
+    times = list(BurstArrivals(5.0, burst_size=3).times(random.Random(0), 11.0))
+    assert times == [5.0, 5.0, 5.0, 10.0, 10.0, 10.0]
+
+
+def test_burst_jitter_stays_in_window():
+    times = list(
+        BurstArrivals(5.0, burst_size=2, jitter=0.5).times(random.Random(1), 20.0)
+    )
+    for t in times:
+        base = 5.0 * round(t / 5.0 - 0.049)
+        assert 0 <= t - base <= 0.5 or t <= 20.0
+
+
+# -- drivers ---------------------------------------------------------------------
+
+
+def test_saturation_workload_submits_everything_at_zero():
+    sim, sites = make_sites()
+    total = SaturationWorkload(4).install(sim, sites)
+    sim.run()
+    assert total == 12
+    assert all(s.submissions == 4 for s in sites)
+
+
+def test_saturation_validates():
+    with pytest.raises(ConfigurationError):
+        SaturationWorkload(0)
+
+
+def test_open_loop_workload_counts_and_installs():
+    sim, sites = make_sites()
+    wl = OpenLoopWorkload(PeriodicArrivals(10.0), horizon=35.0)
+    total = wl.install(sim, sites)
+    sim.run()
+    assert total == 9  # 3 arrivals x 3 sites
+    assert all(s.submissions == 3 for s in sites)
+
+
+def test_open_loop_sites_get_independent_streams():
+    sim, sites = make_sites()
+    OpenLoopWorkload(PoissonArrivals(0.5), horizon=100.0).install(sim, sites)
+    sim.run()
+    counts = [s.submissions for s in sites]
+    assert len(set(counts)) > 1  # overwhelmingly likely with independent RNGs
+
+
+def test_staggered_single_shot():
+    sim, sites = make_sites()
+    StaggeredSingleShot({0: 1.0, 2: 5.0}).install(sim, sites)
+    sim.run()
+    assert [s.submissions for s in sites] == [1, 0, 1]
+
+
+def test_staggered_unknown_site_rejected():
+    sim, sites = make_sites()
+    with pytest.raises(ConfigurationError):
+        StaggeredSingleShot({9: 1.0}).install(sim, sites)
+
+
+# -- scenarios ---------------------------------------------------------------------
+
+
+def test_named_scenarios_shapes():
+    assert isinstance(heavy_load(), SaturationWorkload)
+    assert isinstance(light_load(), OpenLoopWorkload)
+    assert isinstance(moderate_load(), OpenLoopWorkload)
