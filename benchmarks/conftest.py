@@ -4,13 +4,24 @@ Every benchmark regenerates one of the paper's tables/figures (see the
 experiment index in DESIGN.md), asserts its headline shape, prints the
 rendered report, and archives it under ``benchmarks/results/`` so
 EXPERIMENTS.md can be refreshed from actual runs.
+
+The harness is wired through the parallel trial engine: the
+``trial_pool`` fixture hands each benchmark a ready
+:class:`repro.parallel.TrialPool` (worker count from ``$REPRO_WORKERS``,
+default 1 so timing benchmarks stay comparable run-to-run), and
+``archive_json`` persists machine-readable ``BENCH_*.json`` entries next
+to the text reports.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
 
 import pytest
+
+from repro.parallel import TrialPool
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -23,6 +34,25 @@ def archive(report) -> None:
     print(text)
     path = RESULTS_DIR / f"{report.experiment_id}.txt"
     path.write_text(text)
+
+
+def archive_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable benchmark entry as ``BENCH_<name>.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+@pytest.fixture
+def trial_pool() -> TrialPool:
+    """A trial engine for benchmark fan-out.
+
+    Defaults to one in-process worker so wall-clock numbers stay
+    comparable across machines; export ``REPRO_WORKERS`` to fan out.
+    """
+    workers = int(os.environ.get("REPRO_WORKERS", "1"))
+    return TrialPool(workers=workers)
 
 
 @pytest.fixture

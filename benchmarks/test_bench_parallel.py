@@ -1,0 +1,90 @@
+"""Parallel trial engine: fan-out speedup and cache-replay speedup.
+
+Not a paper experiment — a performance benchmark of the replication
+substrate itself. A 30-trial ``replicate()`` at N=49 is timed three
+ways: serial (workers=1, cold), 4 workers (cold), and a cache-hit
+replay. The measured wall-clocks land in ``BENCH_parallel_engine.json``
+so EXPERIMENTS.md and CI can track them.
+
+The parallel speedup assertion is gated on the host actually having the
+cores: on a single-CPU container four workers cannot beat one, and a
+benchmark must not assert physics away. The cache-replay speedup has no
+such dependence (a hit skips the simulation entirely) and is asserted
+everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import archive_json
+
+from repro.experiments.replicate import replicate
+from repro.experiments.runner import RunConfig
+from repro.parallel import RunCache
+from repro.workload.driver import SaturationWorkload
+
+N_SITES = 49
+TRIALS = 30
+SEEDS = range(TRIALS)
+
+
+def _config() -> RunConfig:
+    return RunConfig(
+        algorithm="cao-singhal",
+        n_sites=N_SITES,
+        quorum="grid",
+        workload=SaturationWorkload(5),
+    )
+
+
+def _timed(**kwargs) -> tuple:
+    start = time.perf_counter()
+    rep = replicate(
+        _config(),
+        metric=lambda s: s.sync_delay_in_t,
+        seeds=SEEDS,
+        metric_name="sync delay (T)",
+        **kwargs,
+    )
+    return time.perf_counter() - start, rep
+
+
+def test_bench_parallel_replicate_speedup(benchmark, tmp_path):
+    serial_s, serial_rep = _timed(workers=1)
+
+    cache = RunCache(tmp_path / "trials")
+    parallel_s, parallel_rep = benchmark.pedantic(
+        lambda: _timed(workers=4, cache=cache), rounds=1, iterations=1
+    )
+    replay_s, replay_rep = _timed(workers=4, cache=RunCache(tmp_path / "trials"))
+
+    # Determinism first: all three paths must agree sample-for-sample.
+    assert parallel_rep.samples == serial_rep.samples
+    assert replay_rep.samples == serial_rep.samples
+
+    cpus = os.cpu_count() or 1
+    payload = {
+        "benchmark": "parallel_engine",
+        "config": {"algorithm": "cao-singhal", "n_sites": N_SITES,
+                   "quorum": "grid", "trials": TRIALS,
+                   "requests_per_site": 5},
+        "host_cpus": cpus,
+        "serial_seconds": round(serial_s, 3),
+        "parallel4_seconds": round(parallel_s, 3),
+        "cache_replay_seconds": round(replay_s, 3),
+        "parallel_speedup": round(serial_s / parallel_s, 2),
+        "cache_replay_speedup": round(serial_s / replay_s, 2),
+        "sync_delay_mean_t": serial_rep.mean,
+    }
+    path = archive_json("parallel_engine", payload)
+    print(f"\n{TRIALS} trials @ N={N_SITES}: serial {serial_s:.2f}s, "
+          f"4 workers {parallel_s:.2f}s, cache replay {replay_s:.2f}s "
+          f"({cpus} CPUs) -> {path.name}")
+
+    # Replay skips the simulations entirely: > 2x everywhere.
+    assert serial_s / replay_s > 2.0
+    # Real fan-out speedup needs real cores.
+    if cpus >= 4:
+        assert serial_s / parallel_s > 2.0

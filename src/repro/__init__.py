@@ -13,11 +13,20 @@ Public surface (see README for a tour):
   load generation, measurement, and dynamic verification of the paper's
   theorems.
 * :mod:`repro.experiments` — one module per table/figure of the paper.
+* :mod:`repro.parallel` — the trial engine: seed fan-out over worker
+  processes plus the content-addressed on-disk run cache.
 """
 
 from repro.core.site import CaoSinghalSite
-from repro.experiments.runner import RunConfig, RunResult, quick_run, run_mutex
+from repro.experiments.runner import (
+    RunConfig,
+    RunResult,
+    quick_run,
+    run_many,
+    run_mutex,
+)
 from repro.metrics.summary import RunSummary
+from repro.parallel import RunCache, TrialPool, run_trials
 from repro.mutex.registry import algorithm_names, make_site
 from repro.quorums.registry import make_quorum_system, quorum_system_names
 from repro.sim.network import ConstantDelay, ExponentialDelay, UniformDelay
@@ -30,15 +39,19 @@ __all__ = [
     "ConstantDelay",
     "ExponentialDelay",
     "RunConfig",
+    "RunCache",
     "RunResult",
     "RunSummary",
     "Simulator",
+    "TrialPool",
     "UniformDelay",
     "algorithm_names",
     "make_quorum_system",
     "make_site",
     "quick_run",
     "quorum_system_names",
+    "run_many",
     "run_mutex",
+    "run_trials",
     "__version__",
 ]

@@ -3,8 +3,9 @@
 Two subcommands::
 
     repro run  --algorithm cao-singhal --sites 25 --quorum grid ...
-    repro experiment E1 [options]        # regenerate a paper table/figure
-    repro experiment all                 # everything, EXPERIMENTS.md style
+    repro run  --trials 30 --workers 4 --cache   # seed fan-out, cached
+    repro experiment E1 [--workers 4] [options]  # regenerate a table/figure
+    repro experiment all                         # everything, EXPERIMENTS.md style
 
 (Invoke as ``python -m repro.cli`` when the console script is not on
 PATH.)
@@ -13,6 +14,7 @@ PATH.)
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -32,8 +34,11 @@ from repro.experiments import (
     run_throughput,
 )
 from repro.experiments.report import ExperimentReport
-from repro.experiments.runner import RunConfig, run_mutex
+from repro.experiments.replicate import Replication
+from repro.experiments.runner import RunConfig
+from repro.metrics.tables import render_table
 from repro.mutex.registry import algorithm_names
+from repro.parallel import RunCache, TrialPool, WORKERS_ENV
 from repro.quorums.registry import quorum_system_names
 from repro.sim.network import ConstantDelay, ExponentialDelay, UniformDelay
 from repro.workload.arrivals import PoissonArrivals
@@ -106,6 +111,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--horizon", type=float, default=500.0,
         help="arrival horizon for --poisson",
     )
+    run_p.add_argument(
+        "--trials", type=int, default=1, metavar="K",
+        help="replicate over seeds seed..seed+K-1 through the trial engine",
+    )
+    run_p.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="worker processes for --trials (default: $REPRO_WORKERS or "
+        "CPU count; 1 = in-process)",
+    )
+    run_p.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="reuse/record trial results in the on-disk run cache",
+    )
+    run_p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/trials)",
+    )
 
     exp_p = sub.add_parser(
         "experiment", help="regenerate a paper table/figure (or 'all')"
@@ -113,6 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument(
         "id", choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment id from DESIGN.md",
+    )
+    exp_p.add_argument(
+        "--workers", type=int, default=None, metavar="W",
+        help="worker processes for engine-backed experiments "
+        "(sets REPRO_WORKERS for the run)",
     )
     fmt = exp_p.add_mutually_exclusive_group()
     fmt.add_argument(
@@ -140,21 +168,59 @@ def cmd_run(args: argparse.Namespace) -> int:
         cs_duration=args.cs_duration,
         workload=workload,
     )
-    result = run_mutex(config)
-    print(result.summary.describe())
+    if args.trials < 1:
+        raise SystemExit("--trials must be >= 1")
+    cache = RunCache(args.cache_dir) if args.cache else None
+    seeds = range(args.seed, args.seed + args.trials)
+    summaries = TrialPool(workers=args.workers, cache=cache).run_seeds(
+        config, seeds
+    )
+    if args.trials == 1:
+        print(summaries[0].describe())
+    else:
+        print(
+            render_table(
+                ["seed", "msgs/CS", "sync delay (T)", "response (T)",
+                 "throughput"],
+                [
+                    [s.seed, s.messages_per_cs, s.sync_delay_in_t,
+                     s.response_time_in_t, s.throughput]
+                    for s in summaries
+                ],
+                title=f"{config.algorithm} x {args.trials} trials "
+                f"(N={config.n_sites})",
+            )
+        )
+        delays = Replication(
+            metric="sync delay (T)",
+            samples=[s.sync_delay_in_t for s in summaries],
+        )
+        print(f"  {delays}")
+    if cache is not None:
+        print(f"  {cache.stats}")
     return 0
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
-    for exp_id in ids:
-        report = EXPERIMENTS[exp_id]()
-        if args.csv:
-            print(report.to_csv())
-        elif args.json:
-            print(report.to_json())
-        else:
-            print(report.render())
+    env_workers = os.environ.get(WORKERS_ENV)
+    if args.workers is not None:
+        os.environ[WORKERS_ENV] = str(args.workers)
+    try:
+        for exp_id in ids:
+            report = EXPERIMENTS[exp_id]()
+            if args.csv:
+                print(report.to_csv())
+            elif args.json:
+                print(report.to_json())
+            else:
+                print(report.render())
+    finally:
+        if args.workers is not None:
+            if env_workers is None:
+                os.environ.pop(WORKERS_ENV, None)
+            else:
+                os.environ[WORKERS_ENV] = env_workers
     return 0
 
 

@@ -6,17 +6,30 @@ configuration across seeds and reports mean and a normal-approximation
 95 % confidence interval for any scalar extracted from the summaries —
 used by the stochastic-network variants of the delay/throughput
 experiments and available to library users for their own studies.
+
+Trials are executed through :class:`repro.parallel.TrialPool`, so a
+replication can fan out over worker processes (``workers``) and reuse
+prior results from an on-disk cache (``cache``) without changing a
+single sample: the engine merges summaries in seed order regardless of
+completion order, and every trial is hermetic — its own simulator, RNG
+streams, and metrics collector, nothing shared across seeds. The
+``metric`` callable is applied *after* the merge, in seed order, in the
+calling process, so it can be an unpicklable closure and can never leak
+state between trials.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, replace
-from typing import Callable, List, Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.errors import ConfigurationError
-from repro.experiments.runner import RunConfig, run_mutex
+from repro.experiments.runner import RunConfig
 from repro.metrics.summary import RunSummary
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.parallel.cache import RunCache
 
 #: Extracts the scalar of interest from one run's summary.
 Metric = Callable[[RunSummary], float]
@@ -60,20 +73,25 @@ def replicate(
     metric: Metric,
     seeds: Sequence[int] = range(10),
     metric_name: str = "metric",
+    workers: Optional[int] = None,
+    cache: Optional["RunCache"] = None,
 ) -> Replication:
     """Run ``config`` once per seed and aggregate ``metric``.
 
     The config's workload object is shared across runs (workloads are
     stateless descriptors), but each run gets its own simulator and RNG
-    streams derived from the seed.
+    streams derived from the seed. ``workers`` and ``cache`` are passed
+    straight to :class:`~repro.parallel.TrialPool`; neither affects the
+    samples, only how fast they are produced.
     """
     if not seeds:
         raise ConfigurationError("need at least one seed")
-    samples = []
-    for seed in seeds:
-        summary = run_mutex(replace(config, seed=seed)).summary
-        samples.append(metric(summary))
-    return Replication(metric=metric_name, samples=samples)
+    from repro.parallel.pool import TrialPool
+
+    summaries = TrialPool(workers=workers, cache=cache).run_seeds(config, seeds)
+    return Replication(
+        metric=metric_name, samples=[metric(s) for s in summaries]
+    )
 
 
 def sync_delay_ci(
@@ -81,6 +99,8 @@ def sync_delay_ci(
     n_sites: int,
     quorum: str = "grid",
     seeds: Sequence[int] = range(10),
+    workers: Optional[int] = None,
+    cache: Optional["RunCache"] = None,
     **config_kwargs,
 ) -> Replication:
     """Convenience: the sync-delay metric across seeds."""
@@ -92,4 +112,6 @@ def sync_delay_ci(
         metric=lambda s: s.sync_delay_in_t,
         seeds=seeds,
         metric_name=f"{algorithm} sync delay (T)",
+        workers=workers,
+        cache=cache,
     )

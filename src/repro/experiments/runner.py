@@ -139,6 +139,23 @@ def run_mutex(config: RunConfig) -> RunResult:
     return RunResult(summary=summary, sim=sim, sites=sites, collector=collector)
 
 
+def run_many(
+    configs: "List[RunConfig]",
+    workers: Optional[int] = None,
+    cache=None,
+) -> List[RunSummary]:
+    """Run a grid of configs through the parallel trial engine.
+
+    Summaries come back in input order whatever the worker count, so a
+    sweep built as a list comprehension reads its results positionally.
+    ``workers``/``cache`` are :class:`~repro.parallel.TrialPool` options;
+    a failing trial re-raises with its seed attached.
+    """
+    from repro.parallel.pool import TrialPool
+
+    return TrialPool(workers=workers, cache=cache).run_configs(configs)
+
+
 def quick_run(
     algorithm: str = "cao-singhal",
     n_sites: int = 9,

@@ -18,7 +18,7 @@ from typing import List, Optional
 
 from repro.analysis.table1 import analytic_table1
 from repro.experiments.report import ExperimentReport
-from repro.experiments.runner import RunConfig, run_mutex
+from repro.experiments.runner import RunConfig, run_many
 from repro.sim.network import ConstantDelay
 from repro.workload.driver import SaturationWorkload
 from repro.workload.scenarios import light_load
@@ -42,8 +42,16 @@ def run_table1(
     n_sites: int = 25,
     seed: int = 1,
     requests_per_site: int = 15,
+    workers: Optional[int] = None,
+    cache=None,
 ) -> ExperimentReport:
-    """Measured Table 1 for ``n_sites`` sites."""
+    """Measured Table 1 for ``n_sites`` sites.
+
+    The 2×|entries| run grid goes through
+    :func:`~repro.experiments.runner.run_many`, so rows can be produced
+    by parallel workers and reused from the trial cache; the table is
+    identical either way (the engine merges in grid order).
+    """
     report = ExperimentReport(
         experiment_id="E1",
         title=f"Table 1 measured, N={n_sites} "
@@ -60,8 +68,9 @@ def run_table1(
     )
     analytic = {c.name: c for c in analytic_table1(n_sites)}
 
+    grid: List[RunConfig] = []
     for algorithm, quorum in TABLE1_ENTRIES:
-        heavy = run_mutex(
+        grid.append(
             RunConfig(
                 algorithm=algorithm,
                 n_sites=n_sites,
@@ -73,8 +82,8 @@ def run_table1(
                 cs_duration=1.0,
                 workload=SaturationWorkload(requests_per_site),
             )
-        ).summary
-        light = run_mutex(
+        )
+        grid.append(
             RunConfig(
                 algorithm=algorithm,
                 n_sites=n_sites,
@@ -84,7 +93,11 @@ def run_table1(
                 cs_duration=0.05,
                 workload=light_load(horizon=3000.0, rate=0.001),
             )
-        ).summary
+        )
+    summaries = run_many(grid, workers=workers, cache=cache)
+
+    for row, (algorithm, quorum) in enumerate(TABLE1_ENTRIES):
+        heavy, light = summaries[2 * row], summaries[2 * row + 1]
         key = "cao-singhal (tree)" if (algorithm, quorum) == ("cao-singhal", "tree") else algorithm
         paper = analytic.get(key)
         report.add_row(

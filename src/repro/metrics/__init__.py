@@ -1,7 +1,12 @@
 """Measurement layer: lifecycle records, summaries, and table rendering."""
 
 from repro.metrics.collector import CSRecord, MetricsCollector
-from repro.metrics.instruments import ArbiterSampler, QueueSample, QueueStats
+from repro.metrics.instruments import (
+    ArbiterSampler,
+    CacheStats,
+    QueueSample,
+    QueueStats,
+)
 from repro.metrics.summary import (
     RunSummary,
     Stats,
@@ -15,6 +20,7 @@ from repro.metrics.timeline import render_timeline
 __all__ = [
     "ArbiterSampler",
     "CSRecord",
+    "CacheStats",
     "MetricsCollector",
     "QueueSample",
     "QueueStats",

@@ -104,3 +104,42 @@ class ArbiterSampler:
             if sample.queue_lengths:
                 peak = max(peak, max(sample.queue_lengths.values()))
         return peak
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation counters of the on-disk trial-result cache.
+
+    Maintained by :class:`repro.parallel.cache.RunCache`; exposed here so
+    the measurement layer owns every counter a run can report.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: records discarded as unreadable/corrupt/stale (each also counts as
+    #: a miss, since the trial had to be re-run)
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total cache probes."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (NaN before any lookup)."""
+        return self.hits / self.lookups if self.lookups else float("nan")
+
+    def merge(self, other: "CacheStats") -> None:
+        """Fold another counter set into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.stores += other.stores
+        self.invalidations += other.invalidations
+
+    def __str__(self) -> str:
+        return (
+            f"cache: {self.hits} hit / {self.misses} miss "
+            f"({self.invalidations} invalidated, {self.stores} stored)"
+        )

@@ -107,6 +107,26 @@ class RunSummary:
     throughput: float = float("nan")
     fairness: float = float("nan")
 
+    def to_dict(self) -> dict:
+        """JSON-ready representation (used by the on-disk run cache)."""
+        import dataclasses
+
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSummary":
+        """Inverse of :meth:`to_dict`; raises on missing/unknown fields."""
+        import dataclasses
+
+        payload = dict(data)
+        for stats_field in ("sync_delay", "waiting_time", "response_time"):
+            payload[stats_field] = Stats(**payload[stats_field])
+        names = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(payload) - names
+        if unknown:
+            raise ValueError(f"unknown RunSummary fields: {sorted(unknown)}")
+        return cls(**payload)
+
     def describe(self) -> str:
         """Human-readable multi-line report."""
         lines = [

@@ -1,0 +1,197 @@
+"""Content-addressed on-disk cache of trial results.
+
+A trial is ``run_mutex(config)`` for one fully specified
+:class:`~repro.experiments.runner.RunConfig` (seed included). Because a
+run is a pure function of its config, the summary can be cached under a
+stable fingerprint of the config plus a protocol-code version salt:
+re-running an experiment grid after an unrelated edit becomes a set of
+cache hits, while bumping :data:`PROTOCOL_VERSION` (done whenever any
+algorithm/simulator change can alter trial outcomes) invalidates every
+stale record at once.
+
+Design rules:
+
+* **Keys are structural, not positional.** The fingerprint hashes a
+  canonical JSON description of every config field — class names and
+  instance attributes for delay models and workloads — so it is stable
+  across processes, Python hash randomization, and dict insertion order,
+  and distinct for distinct field values.
+* **Callables are uncacheable.** A ``cs_duration`` sampler or any other
+  callable embedded in a config has no stable content address;
+  :func:`fingerprint` returns ``None`` and the engine simply runs the
+  trial without caching.
+* **Corruption is a miss, never a crash.** Unreadable, truncated, or
+  mismatched records are discarded (counted as invalidations) and the
+  trial is re-run.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import types
+from typing import Optional, Union
+
+from repro.experiments.runner import RunConfig
+from repro.metrics.instruments import CacheStats
+from repro.metrics.summary import RunSummary
+
+#: Bump whenever a protocol/simulator change can alter trial outcomes.
+PROTOCOL_VERSION = "repro-trials-v1"
+
+#: Environment override for the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/trials``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro" / "trials"
+
+
+class _Uncacheable(Exception):
+    """Internal: the config embeds something with no stable description."""
+
+
+def _describe(value: object) -> object:
+    """Canonical JSON-ready description of one config field value.
+
+    JSON rendering keeps the primitive types apart (``1`` vs ``1.0`` vs
+    ``"1"`` vs ``true``), so no extra tagging is needed; objects are
+    described structurally as class name plus sorted instance attributes.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_describe(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_describe(v) for v in value), key=repr)
+    if isinstance(value, dict):
+        return {str(k): _describe(value[k]) for k in sorted(value, key=str)}
+    if isinstance(
+        value,
+        (
+            types.FunctionType,
+            types.MethodType,
+            types.BuiltinFunctionType,
+            types.BuiltinMethodType,
+            functools.partial,
+        ),
+    ):
+        # Function bodies have no stable content address; two distinct
+        # lambdas must never collide on an empty attribute dict.
+        raise _Uncacheable(f"callable {value!r} has no stable description")
+    if hasattr(value, "__dict__"):
+        cls = type(value)
+        fields = vars(value)
+        return {
+            "__class__": f"{cls.__module__}.{cls.__qualname__}",
+            "fields": {k: _describe(fields[k]) for k in sorted(fields)},
+        }
+    raise _Uncacheable(f"cannot canonically describe {value!r}")
+
+
+def describe_config(config: RunConfig) -> Optional[dict]:
+    """Canonical description of a config, or ``None`` if uncacheable."""
+    import dataclasses
+
+    try:
+        return {
+            f.name: _describe(getattr(config, f.name))
+            for f in dataclasses.fields(config)
+        }
+    except _Uncacheable:
+        return None
+
+
+def fingerprint(config: RunConfig, salt: str = PROTOCOL_VERSION) -> Optional[str]:
+    """Stable hex digest keying one trial, or ``None`` if uncacheable.
+
+    The seed is part of the config, so distinct seeds get distinct keys;
+    the salt folds the protocol-code version into every key.
+    """
+    description = describe_config(config)
+    if description is None:
+        return None
+    canonical = json.dumps(description, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(f"{salt}\n{canonical}".encode("utf-8"))
+    return digest.hexdigest()
+
+
+class RunCache:
+    """Directory of ``<fingerprint>.json`` trial records.
+
+    Writes are atomic (temp file + rename) so a crashed writer can leave
+    at worst a stray temp file, never a half-record under a final name.
+    Counters live in a :class:`~repro.metrics.instruments.CacheStats`.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path, None] = None,
+        salt: str = PROTOCOL_VERSION,
+    ) -> None:
+        self.directory = pathlib.Path(directory) if directory else default_cache_dir()
+        self.salt = salt
+        self.stats = CacheStats()
+
+    def key_for(self, config: RunConfig) -> Optional[str]:
+        """The config's fingerprint under this cache's salt (or ``None``)."""
+        return fingerprint(config, salt=self.salt)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def load(self, key: str) -> Optional[RunSummary]:
+        """Return the cached summary for ``key``, or ``None`` on a miss.
+
+        Any unreadable or inconsistent record is deleted (best-effort)
+        and reported as an invalidation plus a miss.
+        """
+        path = self._path(key)
+        try:
+            record = json.loads(path.read_text())
+            if record.get("fingerprint") != key or record.get("salt") != self.salt:
+                raise ValueError("record does not match its key")
+            summary = RunSummary.from_dict(record["summary"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.invalidations += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return summary
+
+    def store(self, key: str, summary: RunSummary) -> None:
+        """Atomically persist one trial summary under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "fingerprint": key,
+            "salt": self.salt,
+            "summary": summary.to_dict(),
+        }
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1

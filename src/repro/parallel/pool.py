@@ -1,0 +1,185 @@
+"""Parallel trial execution with a deterministic merge.
+
+:class:`TrialPool` fans independent seeded trials — each one
+``run_mutex(config)`` — out over a ``ProcessPoolExecutor`` and merges the
+summaries back **in input order**, so the result of a parallel run is
+byte-identical to a serial run of the same configs regardless of worker
+count or completion order. Three consequences drive the design:
+
+* **Determinism.** A trial is a pure function of its config (the
+  simulator derives every RNG stream from the seed), so parallelism can
+  only reorder completion, never change a summary. The pool indexes
+  outcomes by input position and never exposes completion order.
+* **Reproducible failures.** A trial that violates one of the paper's
+  theorems raises inside its worker. The pool re-raises the *original*
+  exception type (``MutualExclusionViolation``, ``DeadlockError``, …)
+  in the parent with the offending trial's seed attached
+  (``exc.trial_seed`` and appended to the message), choosing the first
+  failure in input order so even the error is deterministic.
+* **Graceful degradation.** ``workers=1`` (or a single pending trial)
+  runs in-process with no pickling at all; configs that cannot be
+  pickled (e.g. a lambda ``cs_duration``) fall back to in-process
+  execution with a warning instead of crashing.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import RunConfig, run_mutex
+from repro.metrics.summary import RunSummary
+from repro.parallel.cache import RunCache
+
+#: Environment override for the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: One trial's outcome, shaped for transport across the process boundary.
+_Outcome = Tuple[str, Union[RunSummary, BaseException]]
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Effective worker count: explicit > ``$REPRO_WORKERS`` > cpu count."""
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env is not None:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                )
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def _attach_seed(exc: BaseException, seed: int) -> BaseException:
+    """Mark ``exc`` with the seed of the trial that raised it."""
+    exc.trial_seed = seed  # type: ignore[attr-defined]
+    if exc.args and isinstance(exc.args[0], str):
+        if "[trial seed=" not in exc.args[0]:
+            exc.args = (f"{exc.args[0]} [trial seed={seed}]",) + exc.args[1:]
+    else:
+        exc.args = (f"trial failed [trial seed={seed}]",) + tuple(exc.args)
+    return exc
+
+
+def _run_trial(config: RunConfig) -> _Outcome:
+    """Execute one trial; never raises, so outcomes survive pool transport.
+
+    Module-level (not a closure) so worker processes can import it.
+    """
+    try:
+        return ("ok", run_mutex(config).summary)
+    except Exception as exc:  # re-raised, typed, by the merging parent
+        return ("error", exc)
+
+
+class TrialPool:
+    """Runs batches of independent trials, optionally cached and parallel.
+
+    ``workers`` defaults to ``os.cpu_count()`` (override with the
+    ``REPRO_WORKERS`` environment variable); pass ``cache`` to reuse and
+    record results across runs.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[RunCache] = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+
+    # -- execution ---------------------------------------------------------
+
+    def run_configs(self, configs: Sequence[RunConfig]) -> List[RunSummary]:
+        """Run every config; summaries come back in input order.
+
+        The first failing trial (in input order) re-raises its original
+        exception with the seed attached; successful sibling trials are
+        still written to the cache first, and no entry is ever written
+        for a failed trial.
+        """
+        configs = list(configs)
+        results: List[Optional[RunSummary]] = [None] * len(configs)
+        keys: List[Optional[str]] = [None] * len(configs)
+
+        pending: List[Tuple[int, RunConfig]] = []
+        for i, config in enumerate(configs):
+            if self.cache is not None:
+                keys[i] = self.cache.key_for(config)
+                if keys[i] is not None:
+                    hit = self.cache.load(keys[i])
+                    if hit is not None:
+                        results[i] = hit
+                        continue
+            pending.append((i, config))
+
+        outcomes = self._execute(pending)
+
+        failure: Optional[Tuple[int, BaseException]] = None
+        for (i, config), (status, payload) in zip(pending, outcomes):
+            if status == "ok":
+                assert isinstance(payload, RunSummary)
+                results[i] = payload
+                if self.cache is not None and keys[i] is not None:
+                    self.cache.store(keys[i], payload)
+            else:
+                assert isinstance(payload, BaseException)
+                if failure is None or i < failure[0]:
+                    failure = (i, _attach_seed(payload, config.seed))
+        if failure is not None:
+            raise failure[1]
+        return [s for s in results if s is not None]
+
+    def run_seeds(
+        self, config: RunConfig, seeds: Sequence[int]
+    ) -> List[RunSummary]:
+        """Run ``config`` once per seed; summaries come back in seed order."""
+        return self.run_configs([replace(config, seed=s) for s in seeds])
+
+    # -- internals ---------------------------------------------------------
+
+    def _execute(
+        self, pending: Sequence[Tuple[int, RunConfig]]
+    ) -> List[_Outcome]:
+        workers = min(self.workers, len(pending))
+        if workers > 1 and not self._picklable(pending):
+            workers = 1
+        if workers <= 1:
+            return [_run_trial(config) for _, config in pending]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_run_trial, (c for _, c in pending)))
+
+    @staticmethod
+    def _picklable(pending: Sequence[Tuple[int, RunConfig]]) -> bool:
+        try:
+            pickle.dumps([c for _, c in pending])
+            return True
+        except Exception:
+            warnings.warn(
+                "trial config is not picklable (callable cs_duration or "
+                "workload?); running in-process instead of a worker pool",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return False
+
+
+def run_trials(
+    config: RunConfig,
+    seeds: Sequence[int],
+    workers: Optional[int] = None,
+    cache: Optional[RunCache] = None,
+) -> List[RunSummary]:
+    """One-shot convenience: ``TrialPool(...).run_seeds(config, seeds)``."""
+    return TrialPool(workers=workers, cache=cache).run_seeds(config, seeds)

@@ -1,0 +1,124 @@
+"""Property tests for the trial-cache fingerprint.
+
+The cache is only sound if the fingerprint is (1) a pure function of the
+config's *values* — stable across processes, hash randomization, and
+dict insertion order — and (2) injective over distinct values, so two
+different trials can never alias one record. Hypothesis drives both
+directions over the interesting RunConfig fields.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.runner import RunConfig
+from repro.parallel.cache import PROTOCOL_VERSION, fingerprint
+from repro.sim.network import ConstantDelay, UniformDelay
+from repro.workload.driver import SaturationWorkload
+
+configs = st.builds(
+    RunConfig,
+    algorithm=st.sampled_from(["cao-singhal", "maekawa", "lamport"]),
+    n_sites=st.integers(3, 60),
+    seed=st.integers(0, 2**31),
+    cs_duration=st.floats(0.01, 5.0, allow_nan=False),
+    max_time=st.floats(1e3, 1e7, allow_nan=False),
+    max_events=st.integers(1_000, 10**8),
+    trace=st.booleans(),
+    verify=st.booleans(),
+)
+
+
+@given(config=configs)
+def test_fingerprint_is_deterministic(config):
+    assert fingerprint(config) == fingerprint(config)
+    clone = dataclasses.replace(config)
+    assert fingerprint(clone) == fingerprint(config)
+
+
+@given(config=configs, other=configs)
+def test_fingerprint_injective_over_field_values(config, other):
+    if config == other:
+        assert fingerprint(config) == fingerprint(other)
+    else:
+        assert fingerprint(config) != fingerprint(other)
+
+
+@given(config=configs, seed_a=st.integers(0, 999), seed_b=st.integers(0, 999))
+def test_seed_is_part_of_the_key(config, seed_a, seed_b):
+    a = fingerprint(dataclasses.replace(config, seed=seed_a))
+    b = fingerprint(dataclasses.replace(config, seed=seed_b))
+    assert (a == b) == (seed_a == seed_b)
+
+
+@given(config=configs, salt=st.text(min_size=1, max_size=20))
+def test_salt_changes_every_key(config, salt):
+    salted = fingerprint(config, salt=salt)
+    default = fingerprint(config)
+    assert (salted == default) == (salt == PROTOCOL_VERSION)
+
+
+@given(
+    low=st.floats(0.1, 1.0, allow_nan=False),
+    spread=st.floats(0.0, 2.0, allow_nan=False),
+)
+def test_delay_model_attributes_are_keyed(low, spread):
+    base = RunConfig(delay_model=UniformDelay(low, low + spread))
+    same = RunConfig(delay_model=UniformDelay(low, low + spread))
+    other = RunConfig(delay_model=UniformDelay(low, low + spread + 0.5))
+    constant = RunConfig(delay_model=ConstantDelay(low))
+    assert fingerprint(base) == fingerprint(same)
+    assert fingerprint(base) != fingerprint(other)
+    assert fingerprint(base) != fingerprint(constant)
+
+
+@given(budget_a=st.integers(1, 50), budget_b=st.integers(1, 50))
+def test_workload_attributes_are_keyed(budget_a, budget_b):
+    a = fingerprint(RunConfig(workload=SaturationWorkload(budget_a)))
+    b = fingerprint(RunConfig(workload=SaturationWorkload(budget_b)))
+    assert (a == b) == (budget_a == budget_b)
+
+
+@given(
+    entries=st.dictionaries(
+        st.integers(0, 20), st.floats(0.0, 50.0, allow_nan=False),
+        min_size=2, max_size=8,
+    )
+)
+def test_dict_insertion_order_never_changes_the_key(entries):
+    from repro.workload.driver import StaggeredSingleShot
+
+    forward = RunConfig(workload=StaggeredSingleShot(dict(entries)))
+    backward = RunConfig(
+        workload=StaggeredSingleShot(dict(reversed(list(entries.items()))))
+    )
+    assert fingerprint(forward) == fingerprint(backward)
+
+
+@settings(max_examples=5, deadline=None)
+@given(config=configs)
+def test_fingerprint_stable_across_process_restart(config):
+    """The key must not depend on PYTHONHASHSEED or interpreter state."""
+    code = (
+        "import sys; sys.path.insert(0, 'src')\n"
+        "from repro.experiments.runner import RunConfig\n"
+        "from repro.parallel.cache import fingerprint\n"
+        f"print(fingerprint(RunConfig("
+        f"algorithm={config.algorithm!r}, n_sites={config.n_sites}, "
+        f"seed={config.seed}, cs_duration={config.cs_duration!r}, "
+        f"max_time={config.max_time!r}, max_events={config.max_events}, "
+        f"trace={config.trace}, verify={config.verify})))"
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        check=True,
+        cwd=str(__import__("pathlib").Path(__file__).resolve().parents[2]),
+    )
+    assert out.stdout.strip() == fingerprint(config)
