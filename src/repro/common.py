@@ -8,11 +8,32 @@ import cycles. User code should import them from :mod:`repro.mutex`
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 from typing import Any, Tuple
 
 
-@dataclass(frozen=True)
+def slotted_dataclass(cls=None, /, **kwargs):
+    """``dataclass(..., slots=True)`` where the runtime supports it.
+
+    Protocol messages and per-site state are allocated on the simulation
+    hot path; ``__slots__`` removes the per-instance ``__dict__`` (smaller
+    objects, faster attribute access). ``slots=True`` needs Python 3.10+,
+    so on older interpreters this degrades to a plain dataclass with
+    identical semantics, ``repr`` and equality — only the memory layout
+    differs, never simulation behaviour.
+
+    Usable bare (``@slotted_dataclass``) or with dataclass keyword
+    arguments (``@slotted_dataclass(frozen=True)``), like ``dataclass``.
+    """
+    if sys.version_info >= (3, 10):
+        kwargs.setdefault("slots", True)
+    if cls is None:
+        return dataclass(**kwargs)
+    return dataclass(**kwargs)(cls)
+
+
+@slotted_dataclass(frozen=True)
 class Bundle:
     """Several control messages piggybacked into one network message.
 
@@ -43,7 +64,7 @@ def bundle_or_single(*parts: Any) -> Any:
     return Bundle(parts=tuple(parts))
 
 
-@dataclass(frozen=True, order=True)
+@slotted_dataclass(frozen=True, order=True)
 class Priority:
     """A Lamport-style request priority: ``(sequence number, site id)``.
 

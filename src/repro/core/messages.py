@@ -10,15 +10,14 @@ is also how a production implementation over UDP/TCP would do it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
-from repro.common import Priority
+from repro.common import Priority, slotted_dataclass
 
 SiteId = int
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Request:
     """``request(sn, i)``: ``S_i`` asks an arbiter's permission to enter CS."""
 
@@ -27,7 +26,7 @@ class Request:
     type_name = "request"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Reply:
     """``reply(j)``: permission of arbiter ``S_j`` granted to a requester.
 
@@ -55,7 +54,7 @@ class Reply:
     type_name = "reply"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Release:
     """``release(i, j)``: ``S_i`` exited the CS.
 
@@ -74,7 +73,7 @@ class Release:
     type_name = "release"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Inquire:
     """``inquire(j)``: arbiter ``S_j`` asks its lock holder whether it has
     succeeded in collecting all replies (and will otherwise yield)."""
@@ -87,7 +86,7 @@ class Inquire:
     type_name = "inquire"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Fail:
     """``fail(j)``: arbiter ``S_j`` cannot grant this request now because a
     higher-priority request holds or precedes it."""
@@ -98,7 +97,7 @@ class Fail:
     type_name = "fail"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Yield:
     """``yield(i)``: the lock holder returns the arbiter's permission so a
     higher-priority request can proceed."""
@@ -110,7 +109,7 @@ class Yield:
     type_name = "yield"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Transfer:
     """``transfer(k, j)``: arbiter ``S_j`` asks its lock holder to send a
     ``reply(j)`` to beneficiary ``S_k`` when it exits the CS.
@@ -131,7 +130,7 @@ class Transfer:
     type_name = "transfer"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class FailureNotice:
     """``failure(i)``: broadcast when site ``failed_site`` is detected down
     (Section 6 recovery protocol)."""
@@ -141,7 +140,7 @@ class FailureNotice:
     type_name = "failure"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class Probe:
     """Recovery reconciliation (fault-tolerance extension, not in paper).
 
@@ -163,7 +162,7 @@ class Probe:
     type_name = "probe"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(frozen=True)
 class ProbeAck:
     """Answer to a :class:`Probe`: whether the probed site's request
     ``target`` currently holds the arbiter's permission."""

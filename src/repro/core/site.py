@@ -88,6 +88,15 @@ class CaoSinghalSite(MutexSite):
 
     algorithm_name = "cao-singhal"
 
+    __slots__ = (
+        "quorum",
+        "enable_transfer",
+        "arbiter",
+        "req",
+        "_pending_releases",
+        "max_seq_seen",
+    )
+
     def __init__(
         self,
         site_id: SiteId,

@@ -10,11 +10,11 @@ implementations favour clarity and cheap removal over asymptotics:
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Dict, List, Optional, Set
 
 from repro.core.messages import Transfer
-from repro.common import Priority
+from repro.common import Priority, slotted_dataclass
 
 SiteId = int
 
@@ -26,6 +26,8 @@ class RequestQueue:
     waiting request. Supports the removal patterns the protocol needs:
     pop-head, remove-by-exact-priority, remove-by-site.
     """
+
+    __slots__ = ("_items",)
 
     def __init__(self) -> None:
         self._items: List[Priority] = []
@@ -83,6 +85,8 @@ class TranStack:
     remaining entries from the same arbiter are discarded.
     """
 
+    __slots__ = ("_items",)
+
     def __init__(self) -> None:
         self._items: List[Transfer] = []
 
@@ -132,7 +136,7 @@ class TranStack:
         )
 
 
-@dataclass
+@slotted_dataclass
 class ArbiterState:
     """Arbiter-role state: who locks this site's permission and who waits.
 
@@ -162,7 +166,7 @@ class ArbiterState:
         return self.lock.is_max
 
 
-@dataclass
+@slotted_dataclass
 class RequesterState:
     """Requester-role state for the site's current CS request."""
 

@@ -90,8 +90,8 @@ def run_churn(
         sim, sites, collector = _run_once(
             construction, n_sites, seed, requests_per_site, churn=True
         )
-        base_rate = len(base_col.completed) / base_sim.now
-        churn_rate = len(collector.completed) / sim.now
+        base_rate = len(base_col.completed) / base_sim.last_event_time
+        churn_rate = len(collector.completed) / sim.last_event_time
         by_type = sim.network.stats.by_type
         recovery_msgs = by_type.get("probe", 0) + by_type.get("probe-ack", 0)
         stuck = sum(1 for s in sites if s.has_work)

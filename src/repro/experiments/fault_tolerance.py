@@ -102,7 +102,7 @@ def run_recovery(
         len([r for r in collector.records if not r.complete and r.site in crashed]),
     )
     report.add_row("inaccessible live sites", sum(1 for s in sites if s.inaccessible))
-    report.add_row("drained at t", round(sim.now, 1))
+    report.add_row("drained at t", round(sim.last_event_time, 1))
     if live_unserved:
         report.add_note("FAILURE: live sites starved — recovery protocol broken")
     else:

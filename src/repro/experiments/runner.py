@@ -104,7 +104,7 @@ def run_mutex(config: RunConfig) -> RunResult:
     sim.start()
     sim.run(until=config.max_time, max_events=config.max_events)
 
-    duration = sim.now
+    duration = sim.last_event_time
     if config.verify:
         check_mutual_exclusion(collector.records)
         check_sequential_per_site(collector.records)

@@ -66,6 +66,8 @@ class MutexSite(Node):
     * ``on_message(src, message)`` — protocol message handlers.
     """
 
+    __slots__ = ("_cs_duration", "listener", "state", "backlog", "completed")
+
     def __init__(
         self,
         site_id: SiteId,
@@ -100,8 +102,11 @@ class MutexSite(Node):
             return
         self.backlog -= 1
         self.state = SiteState.REQUESTING
-        self.listener.on_request(self.site_id, self.now)
-        self.sim.trace.record(self.now, "request", self.site_id)
+        now = self.now
+        self.listener.on_request(self.site_id, now)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.record(now, "request", self.site_id)
         self._begin_request()
 
     def _enter_cs(self) -> None:
@@ -111,8 +116,11 @@ class MutexSite(Node):
                 f"site {self.site_id} entered CS from state {self.state}"
             )
         self.state = SiteState.IN_CS
-        self.listener.on_enter(self.site_id, self.now)
-        self.sim.trace.record(self.now, "cs_enter", self.site_id)
+        now = self.now
+        self.listener.on_enter(self.site_id, now)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.record(now, "cs_enter", self.site_id)
         if self._cs_duration is None:
             return  # manual hold: the application calls release_cs()
         duration = (
@@ -133,8 +141,11 @@ class MutexSite(Node):
             raise ProtocolError(
                 f"site {self.site_id} left CS from state {self.state}"
             )
-        self.sim.trace.record(self.now, "cs_exit", self.site_id)
-        self.listener.on_exit(self.site_id, self.now)
+        now = self.now
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.record(now, "cs_exit", self.site_id)
+        self.listener.on_exit(self.site_id, now)
         self.completed += 1
         self._exit_protocol()
         self.state = SiteState.IDLE

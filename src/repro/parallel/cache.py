@@ -87,9 +87,26 @@ def _describe(value: object) -> object:
         # Function bodies have no stable content address; two distinct
         # lambdas must never collide on an empty attribute dict.
         raise _Uncacheable(f"callable {value!r} has no stable description")
-    if hasattr(value, "__dict__"):
-        cls = type(value)
-        fields = vars(value)
+    cls = type(value)
+    has_layout = hasattr(value, "__dict__")
+    fields = dict(getattr(value, "__dict__", None) or {})
+    # Slotted objects (delay models, slotted dataclasses) carry their
+    # state in __slots__ declared anywhere in the MRO, not in __dict__.
+    for klass in cls.__mro__:
+        slots = getattr(klass, "__slots__", None)
+        if slots is None:
+            continue
+        has_layout = True
+        if isinstance(slots, str):
+            slots = (slots,)
+        for name in slots:
+            if name in fields or name.startswith("__"):
+                continue
+            try:
+                fields[name] = getattr(value, name)
+            except AttributeError:
+                continue  # declared but never assigned
+    if has_layout:
         return {
             "__class__": f"{cls.__module__}.{cls.__qualname__}",
             "fields": {k: _describe(fields[k]) for k in sorted(fields)},

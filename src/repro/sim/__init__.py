@@ -11,7 +11,6 @@ from repro.sim.event import Event, EventQueue
 from repro.sim.network import (
     ConstantDelay,
     DelayModel,
-    Envelope,
     ExponentialDelay,
     LogNormalDelay,
     Network,
@@ -22,12 +21,11 @@ from repro.sim.network import (
 from repro.sim.node import Node
 from repro.sim.rng import SeedSequence
 from repro.sim.simulator import Simulator
-from repro.sim.trace import Trace, TraceRecord
+from repro.sim.trace import NullTrace, Trace, TraceRecord
 
 __all__ = [
     "ConstantDelay",
     "DelayModel",
-    "Envelope",
     "Event",
     "EventQueue",
     "ExponentialDelay",
@@ -35,6 +33,7 @@ __all__ = [
     "Network",
     "NetworkStats",
     "Node",
+    "NullTrace",
     "ParetoDelay",
     "SeedSequence",
     "Simulator",

@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import field
 from typing import Any, Callable, Dict, Optional, Set, Tuple
 
+from repro.common import slotted_dataclass
 from repro.errors import ConfigurationError, SimulationError
 
 SiteId = int
@@ -33,6 +34,8 @@ class DelayModel(ABC):
     would let a message arrive in the same instant it was sent, which the
     paper's model excludes and which would break FIFO tie-breaking).
     """
+
+    __slots__ = ()
 
     @abstractmethod
     def sample(self, rng: random.Random, src: SiteId, dst: SiteId) -> float:
@@ -50,6 +53,8 @@ class ConstantDelay(DelayModel):
     Useful for analytical comparisons: with constant delay the measured
     synchronization delay of a correct run is *exactly* ``T`` or ``2T``.
     """
+
+    __slots__ = ("_latency",)
 
     def __init__(self, latency: float = 1.0) -> None:
         if latency <= 0:
@@ -69,6 +74,8 @@ class ConstantDelay(DelayModel):
 
 class UniformDelay(DelayModel):
     """Latency drawn uniformly from ``[low, high]``."""
+
+    __slots__ = ("_low", "_high")
 
     def __init__(self, low: float = 0.5, high: float = 1.5) -> None:
         if not 0 < low <= high:
@@ -92,6 +99,8 @@ class UniformDelay(DelayModel):
 class LogNormalDelay(DelayModel):
     """Latency from a log-normal distribution — the classic fit for WAN
     round-trip times (most messages near the mode, a long right tail)."""
+
+    __slots__ = ("_mean", "_sigma", "_mu")
 
     def __init__(self, mean: float = 1.0, sigma: float = 0.5) -> None:
         if mean <= 0:
@@ -124,6 +133,8 @@ class ParetoDelay(DelayModel):
     the mean exists; smaller alpha = heavier tail.
     """
 
+    __slots__ = ("_mean", "_alpha", "_scale")
+
     def __init__(self, mean: float = 1.0, alpha: float = 2.5) -> None:
         if mean <= 0:
             raise ConfigurationError(f"mean must be positive, got {mean}")
@@ -155,6 +166,8 @@ class ExponentialDelay(DelayModel):
     ``floor`` and scaled to keep the requested mean.
     """
 
+    __slots__ = ("_mean", "_floor")
+
     def __init__(self, mean: float = 1.0, floor: float = 0.05) -> None:
         if mean <= floor:
             raise ConfigurationError(
@@ -174,20 +187,7 @@ class ExponentialDelay(DelayModel):
         return f"ExponentialDelay(mean={self._mean}, floor={self._floor})"
 
 
-@dataclass
-class Envelope:
-    """A message in flight, as handed to the delivery callback."""
-
-    src: SiteId
-    dst: SiteId
-    payload: Any
-    sent_at: float
-    deliver_at: float
-    #: True when the payload is a piggyback bundle counted as one message.
-    piggybacked: bool = False
-
-
-@dataclass
+@slotted_dataclass
 class NetworkStats:
     """Aggregate counters the metrics layer reads after a run."""
 
@@ -208,6 +208,14 @@ class NetworkStats:
         self.by_destination[dst] = self.by_destination.get(dst, 0) + 1
 
 
+#: Signature of the simulator's delivery callback: ``(src, dst, payload)``.
+#: The former ``Envelope`` dataclass was inlined into the event payload —
+#: a message in flight is now the scheduled call
+#: ``Network._deliver(src, dst, payload, latency)``, saving one allocation
+#: and two attribute indirections per message.
+DeliverCallback = Callable[[SiteId, SiteId, Any], None]
+
+
 class Network:
     """Fully connected FIFO network with pluggable per-message delays.
 
@@ -222,6 +230,19 @@ class Network:
     time, which the trace layer records.
     """
 
+    __slots__ = (
+        "_sample",
+        "_mean_delay",
+        "_rng",
+        "_schedule",
+        "_now",
+        "_last_delivery",
+        "_deliver_cb",
+        "_crashed",
+        "_severed",
+        "stats",
+    )
+
     #: Minimal spacing between consecutive deliveries on one channel.
     FIFO_EPSILON = 1e-9
 
@@ -229,15 +250,18 @@ class Network:
         self,
         delay_model: DelayModel,
         rng: random.Random,
-        schedule: Callable[[float, Callable[[], None], str], Any],
+        schedule: Callable[..., Any],
         now: Callable[[], float],
     ) -> None:
-        self._delay_model = delay_model
+        # The delay model is consulted once per send; bind its bound method
+        # and mean up front so the hot path pays no repeated virtual lookup.
+        self._sample = delay_model.sample
+        self._mean_delay = delay_model.mean
         self._rng = rng
         self._schedule = schedule
         self._now = now
         self._last_delivery: Dict[Tuple[SiteId, SiteId], float] = {}
-        self._deliver_cb: Optional[Callable[[Envelope], None]] = None
+        self._deliver_cb: Optional[DeliverCallback] = None
         self._crashed: Set[SiteId] = set()
         self._severed: Set[Tuple[SiteId, SiteId]] = set()
         self.stats = NetworkStats()
@@ -245,9 +269,9 @@ class Network:
     @property
     def mean_delay(self) -> float:
         """Mean one-way latency ``T`` of the configured delay model."""
-        return self._delay_model.mean
+        return self._mean_delay
 
-    def on_deliver(self, callback: Callable[[Envelope], None]) -> None:
+    def on_deliver(self, callback: DeliverCallback) -> None:
         """Register the single delivery callback (set by the simulator)."""
         self._deliver_cb = callback
 
@@ -304,41 +328,52 @@ class Network:
                 "self-delivery must be handled locally by the node layer, "
                 f"site {src} tried to send {type_name} to itself"
             )
-        if src in self._crashed or dst in self._crashed or (src, dst) in self._severed:
-            self.stats.messages_dropped += 1
-            return None
+        stats = self.stats
+        if self._crashed or self._severed:
+            if (
+                src in self._crashed
+                or dst in self._crashed
+                or (src, dst) in self._severed
+            ):
+                stats.messages_dropped += 1
+                return None
 
-        self.stats.record_send(type_name, dst)
+        stats.messages_sent += 1
+        by_type = stats.by_type
+        by_type[type_name] = by_type.get(type_name, 0) + 1
+        by_destination = stats.by_destination
+        by_destination[dst] = by_destination.get(dst, 0) + 1
+
         now = self._now()
-        delay = self._delay_model.sample(self._rng, src, dst)
+        delay = self._sample(self._rng, src, dst)
         if delay <= 0:
             raise SimulationError(f"delay model produced non-positive delay {delay}")
         channel = (src, dst)
-        deliver_at = max(
-            now + delay,
-            self._last_delivery.get(channel, -1.0) + self.FIFO_EPSILON,
+        deliver_at = now + delay
+        last_delivery = self._last_delivery
+        prev = last_delivery.get(channel)
+        if prev is not None:
+            fifo_floor = prev + 1e-9  # FIFO_EPSILON, inlined as a constant
+            if deliver_at < fifo_floor:
+                deliver_at = fifo_floor
+        last_delivery[channel] = deliver_at
+        self._schedule(
+            deliver_at,
+            self._deliver,
+            (src, dst, payload, deliver_at - now),
+            type_name,
         )
-        self._last_delivery[channel] = deliver_at
-        envelope = Envelope(
-            src=src,
-            dst=dst,
-            payload=payload,
-            sent_at=now,
-            deliver_at=deliver_at,
-            piggybacked=piggybacked,
-        )
-        self._schedule(deliver_at, lambda: self._deliver(envelope), type_name)
         return deliver_at
 
-    def _deliver(self, envelope: Envelope) -> None:
-        """Hand a due envelope to the delivery callback unless dropped."""
-        if envelope.dst in self._crashed or envelope.src in self._crashed:
+    def _deliver(self, src: SiteId, dst: SiteId, payload: Any, latency: float) -> None:
+        """Hand a due message to the delivery callback unless dropped."""
+        if self._crashed and (dst in self._crashed or src in self._crashed):
             self.stats.messages_dropped += 1
             return
-        if (envelope.src, envelope.dst) in self._severed:
+        if self._severed and (src, dst) in self._severed:
             self.stats.messages_dropped += 1
             return
-        self.stats.messages_delivered += 1
-        self.stats.total_latency += envelope.deliver_at - envelope.sent_at
-        assert self._deliver_cb is not None
-        self._deliver_cb(envelope)
+        stats = self.stats
+        stats.messages_delivered += 1
+        stats.total_latency += latency
+        self._deliver_cb(src, dst, payload)

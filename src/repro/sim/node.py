@@ -5,11 +5,16 @@ computer it runs on. Nodes interact with the world only through the narrow
 interface here — send a message, set a timer, read the clock — which keeps
 algorithm implementations free of simulator plumbing and makes them read
 like the paper's pseudo-code.
+
+All scheduling routes through the kernel's ``(fn, args)`` API
+(:meth:`~repro.sim.simulator.Simulator.schedule_call`): timers and
+self-sends bind their context as event arguments instead of closures, so
+the per-message and per-timer cost is one slotted event allocation.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.sim.event import Event
 
@@ -25,7 +30,13 @@ class Node:
     Subclasses override :meth:`on_message` (and optionally :meth:`on_start`,
     :meth:`on_crash`, :meth:`on_recover`). The simulator wires the node in
     via :meth:`bind`; until then the node is inert and sending raises.
+
+    The base class declares ``__slots__``; subclasses that want ad-hoc
+    attributes simply omit their own ``__slots__`` (they then get a
+    ``__dict__`` as usual), while the kernel-facing fields here stay slotted.
     """
+
+    __slots__ = ("site_id", "_sim", "crashed")
 
     def __init__(self, site_id: SiteId) -> None:
         self.site_id = site_id
@@ -62,31 +73,35 @@ class Node:
         """
         if self.crashed:
             return
-        type_name = getattr(message, "type_name", type(message).__name__)
+        sim = self.sim
         if dst == self.site_id:
-            self.sim.schedule(
-                0.0,
-                lambda: self.sim.deliver_local(self.site_id, message),
-                label=f"self:{type_name}",
+            sim.schedule_call(
+                0.0, sim.deliver_local, (dst, message), "self-deliver"
             )
             return
-        self.sim.network.send(
-            self.site_id, dst, message, type_name, piggybacked=piggybacked
+        sim.network.send(
+            self.site_id,
+            dst,
+            message,
+            getattr(message, "type_name", None) or type(message).__name__,
+            piggybacked,
         )
 
-    def set_timer(self, delay: float, action, label: str = "timer") -> Event:
+    def set_timer(
+        self, delay: float, action: Callable[[], None], label: str = "timer"
+    ) -> Event:
         """Schedule ``action`` to run after ``delay`` time units.
 
         Returns the event handle, which may be cancelled (e.g. a failure
         detector timeout refreshed by a heartbeat). Timer actions are
         suppressed while the node is crashed.
         """
+        return self.sim.schedule_call(delay, self._fire_timer, (action,), label)
 
-        def guarded() -> None:
-            if not self.crashed:
-                action()
-
-        return self.sim.schedule(delay, guarded, label=f"{self.site_id}:{label}")
+    def _fire_timer(self, action: Callable[[], None]) -> None:
+        """Run a timer action unless this node is (now) crashed."""
+        if not self.crashed:
+            action()
 
     # -- hooks for subclasses ----------------------------------------------
 

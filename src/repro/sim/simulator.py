@@ -14,18 +14,24 @@ deliveries to :meth:`repro.sim.node.Node.on_message`. Determinism comes
 from the seeded RNG streams and the stable event tie-break; two simulators
 built with the same seed and the same construction order replay the exact
 same history.
+
+Scheduling goes through one kernel API, :meth:`Simulator.schedule_call`:
+callbacks are stored as ``(fn, args)`` pairs so the hot path (one network
+delivery per message) allocates a single slotted event instead of a
+closure per send. :meth:`Simulator.schedule` remains as the zero-argument
+convenience wrapper.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.sim.event import Event, EventQueue
-from repro.sim.network import DelayModel, Envelope, Network, UniformDelay
+from repro.sim.network import DelayModel, Network, UniformDelay
 from repro.sim.node import Node
 from repro.sim.rng import SeedSequence
-from repro.sim.trace import Trace
+from repro.sim.trace import NullTrace, Trace
 
 SiteId = int
 
@@ -33,11 +39,23 @@ SiteId = int
 class Simulator:
     """Deterministic discrete-event simulator for message-passing systems."""
 
+    __slots__ = (
+        "seeds",
+        "_queue",
+        "_now",
+        "_started",
+        "nodes",
+        "trace",
+        "network",
+        "events_processed",
+        "last_event_time",
+    )
+
     def __init__(
         self,
         seed: int = 0,
         delay_model: Optional[DelayModel] = None,
-        trace: bool = False,
+        trace: Union[bool, Trace] = False,
         trace_capacity: Optional[int] = None,
     ) -> None:
         self.seeds = SeedSequence(seed)
@@ -45,7 +63,15 @@ class Simulator:
         self._now = 0.0
         self._started = False
         self.nodes: Dict[SiteId, Node] = {}
-        self.trace = Trace(enabled=trace, capacity=trace_capacity)
+        #: ``trace`` may be a bool (build a Trace/NullTrace) or a ready
+        #: Trace instance — Trace and NullTrace are swappable here and the
+        #: call sites (``sim.trace.record(...)``) never need to know.
+        if isinstance(trace, Trace):
+            self.trace = trace
+        elif trace:
+            self.trace = Trace(enabled=True, capacity=trace_capacity)
+        else:
+            self.trace = NullTrace()
         self.network = Network(
             delay_model=delay_model or UniformDelay(0.5, 1.5),
             rng=self.seeds.derive("network"),
@@ -55,6 +81,11 @@ class Simulator:
         self.network.on_deliver(self._dispatch)
         #: Number of events processed so far (cheap progress/health metric).
         self.events_processed = 0
+        #: Time of the most recently processed event. Unlike :attr:`now`,
+        #: this never jumps to ``run(until=...)``'s bound, so it measures
+        #: when simulated *activity* ended (the duration the metrics layer
+        #: normalizes by).
+        self.last_event_time = 0.0
 
     # -- construction ------------------------------------------------------
 
@@ -83,39 +114,71 @@ class Simulator:
         """Current simulated time."""
         return self._now
 
-    def schedule(self, delay: float, action: Callable[[], None], label: str = "") -> Event:
-        """Schedule ``action`` to run ``delay`` time units from now."""
+    def schedule(
+        self, delay: float, action: Callable[[], None], label: str = ""
+    ) -> Event:
+        """Schedule zero-argument ``action`` to run ``delay`` units from now.
+
+        Convenience wrapper over :meth:`schedule_call` for closures and
+        bound methods that need no arguments.
+        """
+        return self.schedule_call(delay, action, (), label)
+
+    def schedule_call(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        label: str = "",
+    ) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` time units from now.
+
+        This is the kernel scheduling API: binding arguments in the event
+        instead of a closure keeps per-event allocation to one slotted
+        object. Returns the :class:`Event` handle, which supports
+        ``cancel()``.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        return self._queue.push(self._now + delay, action, label)
+        return self._queue.push(self._now + delay, fn, args, label)
 
-    def _schedule_at(self, time: float, action: Callable[[], None], label: str) -> Event:
+    def _schedule_at(
+        self,
+        time: float,
+        fn: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        label: str = "",
+    ) -> Event:
         """Absolute-time scheduling used by the network layer."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        return self._queue.push(time, action, label)
+        return self._queue.push(time, fn, args, label)
 
     # -- delivery ------------------------------------------------------------
 
-    def _dispatch(self, envelope: Envelope) -> None:
-        """Deliver an envelope to its destination node."""
-        node = self.nodes.get(envelope.dst)
+    def _dispatch(self, src: SiteId, dst: SiteId, payload: Any) -> None:
+        """Deliver a message to its destination node."""
+        node = self.nodes.get(dst)
         if node is None:
-            raise SimulationError(f"message addressed to unknown site {envelope.dst}")
+            raise SimulationError(f"message addressed to unknown site {dst}")
         if node.crashed:
             self.network.stats.messages_dropped += 1
             return
-        self.trace.record(self._now, "deliver", envelope.dst, envelope.payload)
-        node.on_message(envelope.src, envelope.payload)
+        trace = self.trace
+        if trace.enabled:
+            trace.record(self._now, "deliver", dst, payload)
+        node.on_message(src, payload)
 
     def deliver_local(self, site: SiteId, message: Any) -> None:
         """Deliver a self-addressed message (no network, no message cost)."""
         node = self.nodes[site]
         if node.crashed:
             return
-        self.trace.record(self._now, "deliver-local", site, message)
+        trace = self.trace
+        if trace.enabled:
+            trace.record(self._now, "deliver-local", site, message)
         node.on_message(site, message)
 
     # -- failure injection -----------------------------------------------------
@@ -150,8 +213,9 @@ class Simulator:
         if event.time < self._now:
             raise SimulationError("time went backwards")
         self._now = event.time
+        self.last_event_time = event.time
         self.events_processed += 1
-        event.action()
+        event.fn(*event.args)
         return True
 
     def run(
@@ -163,20 +227,49 @@ class Simulator:
         ``max_events`` further events have been processed.
 
         ``until`` is inclusive: events scheduled exactly at ``until`` fire.
+
+        Clock semantics: when ``until`` is given and the loop stops because
+        the queue drained *or* the next event lies beyond ``until``, the
+        clock advances to ``until`` (both stop paths behave identically, so
+        ``sim.now`` always equals ``until`` afterwards). When the loop
+        stops because ``max_events`` ran out, the clock stays at the last
+        processed event — the run is mid-flight, not "caught up to"
+        ``until``.
         """
+        pop_due = self._queue.pop_due
         budget = max_events
-        while True:
-            next_time = self._queue.peek_time()
-            if next_time is None:
-                return
-            if until is not None and next_time > until:
-                self._now = until
-                return
-            if budget is not None:
-                if budget <= 0:
-                    return
-                budget -= 1
-            self.step()
+        processed = 0
+        caught_up = True
+        try:
+            if budget is None:
+                while True:
+                    event = pop_due(until)
+                    if event is None:
+                        break
+                    self._now = event.time
+                    processed += 1
+                    event.fn(*event.args)
+            else:
+                while True:
+                    if budget <= 0:
+                        # Budget ran out mid-flight: clock stays put.
+                        caught_up = False
+                        break
+                    event = pop_due(until)
+                    if event is None:
+                        break
+                    budget -= 1
+                    self._now = event.time
+                    processed += 1
+                    event.fn(*event.args)
+        finally:
+            # Keep the counters truthful even when a callback raises; at
+            # this point _now is still the last processed event's time.
+            self.events_processed += processed
+            if processed:
+                self.last_event_time = self._now
+        if caught_up and until is not None and until > self._now:
+            self._now = until
 
     def pending_events(self) -> int:
         """Number of live events still queued."""

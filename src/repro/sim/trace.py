@@ -7,18 +7,30 @@ transfers honored). The verification layer replays the trace to check the
 paper's theorems; tests use :meth:`Trace.filter` to assert on specific
 protocol behaviours without poking at private algorithm state.
 
-Tracing every message of a long benchmark run would dominate memory, so the
-trace can be disabled (the default for benchmarks) while the cheap scalar
-counters in :class:`repro.sim.network.NetworkStats` stay on.
+Tracing every message of a long benchmark run would dominate memory, so
+benchmarks run with tracing off. Disabled tracing must cost (close to)
+nothing on the kernel hot path, which is handled at two levels:
+
+* :class:`NullTrace` — the disabled implementation installed by default;
+  its :meth:`~NullTrace.record` is a no-op, so *any* call site can call
+  ``sim.trace.record(...)`` unconditionally and stay correct.
+* The :attr:`Trace.enabled` flag — the kernel's per-message call sites
+  additionally guard with ``if trace.enabled:`` so a disabled trace costs
+  one attribute load instead of a four-argument method call per event.
+
+Either a :class:`Trace` or a :class:`NullTrace` can be handed to
+:class:`~repro.sim.simulator.Simulator` at construction; they are
+interchangeable everywhere a trace is read.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable, Iterator, List, Optional
 
+from repro.common import slotted_dataclass
 
-@dataclass(frozen=True)
+
+@slotted_dataclass(frozen=True)
 class TraceRecord:
     """One traced occurrence.
 
@@ -38,6 +50,8 @@ class TraceRecord:
 
 class Trace:
     """Append-only in-memory trace with simple query helpers."""
+
+    __slots__ = ("enabled", "_capacity", "_records", "dropped")
 
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
         self.enabled = enabled
@@ -82,3 +96,21 @@ class Trace:
         """Render the trace (or its tail) as text for failure diagnostics."""
         records = self._records if limit is None else self._records[-limit:]
         return "\n".join(str(r) for r in records)
+
+
+class NullTrace(Trace):
+    """Tracing disabled, as a type: recording is a hard no-op.
+
+    Readers (``len``, ``filter``, ``dump``) behave exactly like an empty
+    :class:`Trace`, so code that inspects a trace after a run needs no
+    special-casing. ``enabled`` is always ``False``, which is what the
+    kernel's guarded hot paths check.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def record(self, time: float, kind: str, site: int, detail: Any = None) -> None:
+        """Drop the record unconditionally."""

@@ -47,9 +47,12 @@ class SaturationWorkload(Workload):
         self.requests_per_site = requests_per_site
 
     def install(self, sim: Simulator, sites: Sequence[MutexSite]) -> int:
+        schedule_call = sim.schedule_call
         for site in sites:
+            label = f"{site.site_id}:submit"
+            submit = site.submit_request
             for _ in range(self.requests_per_site):
-                sim.schedule(0.0, site.submit_request, label=f"{site.site_id}:submit")
+                schedule_call(0.0, submit, (), label)
         return self.requests_per_site * len(sites)
 
     def __repr__(self) -> str:
@@ -67,10 +70,13 @@ class OpenLoopWorkload(Workload):
 
     def install(self, sim: Simulator, sites: Sequence[MutexSite]) -> int:
         total = 0
+        schedule_call = sim.schedule_call
         for site in sites:
             rng = sim.seeds.derive(f"arrivals/{site.site_id}")
+            label = f"{site.site_id}:submit"
+            submit = site.submit_request
             for t in self.arrivals.times(rng, self.horizon):
-                sim.schedule(t, site.submit_request, label=f"{site.site_id}:submit")
+                schedule_call(t, submit, (), label)
                 total += 1
         return total
 
@@ -89,5 +95,7 @@ class StaggeredSingleShot(Workload):
         for site_id, t in self.submit_times.items():
             if site_id not in by_id:
                 raise ConfigurationError(f"no site {site_id} in this run")
-            sim.schedule(t, by_id[site_id].submit_request, label=f"{site_id}:submit")
+            sim.schedule_call(
+                t, by_id[site_id].submit_request, (), f"{site_id}:submit"
+            )
         return len(self.submit_times)

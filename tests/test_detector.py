@@ -98,4 +98,8 @@ def test_monitor_stops_at_lifetime_and_queue_drains():
     sim, hosts = build(lifetime=20.0)
     sim.run(until=500_000.0)
     assert sim.pending_events() == 0
-    assert sim.now < 50.0  # nothing self-perpetuating after the lifetime
+    # Clock semantics: run(until=) advances now to the bound once the
+    # queue drains; activity itself must have stopped right after the
+    # lifetime, which last_event_time measures.
+    assert sim.now == 500_000.0
+    assert sim.last_event_time < 50.0  # nothing self-perpetuating after the lifetime

@@ -30,6 +30,14 @@ from repro.sim.network import ConstantDelay
 from repro.sim.simulator import Simulator
 
 
+class RecordingSite(CaoSinghalSite):
+    """CaoSinghalSite with a ``__dict__`` so tests can monkeypatch ``send``.
+
+    The production class is fully slotted; a plain subclass restores the
+    instance dict without touching protocol behaviour.
+    """
+
+
 class Outbox:
     """Captures every (dst, part) a site sends, with bundles flattened."""
 
@@ -53,7 +61,7 @@ class Outbox:
 
 def make_arbiter():
     sim = Simulator(seed=0, delay_model=ConstantDelay(1.0))
-    sites = [CaoSinghalSite(i, {0}, cs_duration=1.0) for i in range(8)]
+    sites = [RecordingSite(i, {0}, cs_duration=1.0) for i in range(8)]
     for s in sites:
         sim.add_node(s)
     sim.start()

@@ -21,7 +21,7 @@ def test_orders_by_time():
     q.push(1.0, lambda: fired.append("a"))
     q.push(2.0, lambda: fired.append("b"))
     while (event := q.pop()) is not None:
-        event.action()
+        event.fire()
     assert fired == ["a", "b", "c"]
 
 
@@ -31,7 +31,7 @@ def test_ties_break_by_scheduling_order():
     for tag in range(10):
         q.push(5.0, lambda t=tag: fired.append(t))
     while (event := q.pop()) is not None:
-        event.action()
+        event.fire()
     assert fired == list(range(10))
 
 
@@ -50,7 +50,7 @@ def test_cancelled_event_does_not_fire():
     drop = q.push(0.5, lambda: fired.append("drop"))
     drop.cancel()
     while (event := q.pop()) is not None:
-        event.action()
+        event.fire()
     assert fired == ["keep"]
     assert keep.cancelled is False
 
@@ -68,11 +68,28 @@ def test_peek_time_empty_queue():
     assert EventQueue().peek_time() is None
 
 
-def test_event_ordering_dataclass():
-    a = Event(time=1.0, seq=0, action=lambda: None)
-    b = Event(time=1.0, seq=1, action=lambda: None)
-    c = Event(time=2.0, seq=0, action=lambda: None)
+def test_event_ordering():
+    a = Event(time=1.0, seq=0, fn=lambda: None)
+    b = Event(time=1.0, seq=1, fn=lambda: None)
+    c = Event(time=2.0, seq=0, fn=lambda: None)
     assert a < b < c
+
+
+def test_fire_passes_bound_args():
+    got = []
+    event = Event(time=0.0, seq=0, fn=lambda *a: got.append(a), args=(1, "x"))
+    event.fire()
+    assert got == [(1, "x")]
+
+
+def test_pop_due_respects_limit():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    late = q.push(5.0, lambda: None)
+    assert q.pop_due(2.0).time == 1.0
+    assert q.pop_due(2.0) is None  # next event is beyond the limit
+    assert len(q) == 1  # ...and stays queued
+    assert q.pop_due(None) is late
 
 
 def test_bool_reflects_liveness():

@@ -9,7 +9,6 @@ import pytest
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.network import (
     ConstantDelay,
-    Envelope,
     ExponentialDelay,
     UniformDelay,
 )

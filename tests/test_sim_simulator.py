@@ -72,6 +72,38 @@ def test_run_until_is_inclusive_and_advances_clock():
     assert fired == ["at5", "at7"]
 
 
+def test_run_until_advances_clock_when_next_event_is_beyond():
+    """Stop path 1: the next live event lies beyond ``until``."""
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.schedule(9.0, lambda: None)
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert sim.last_event_time == 2.0
+    assert sim.pending_events() == 1  # the t=9 event is untouched
+
+
+def test_run_until_advances_clock_when_queue_drains():
+    """Stop path 2: the queue drains before ``until``; the clock still
+    catches up to the bound, so both stop paths agree on ``sim.now``."""
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    sim.run(until=100.0)
+    assert sim.now == 100.0
+    assert sim.last_event_time == 2.0
+    sim.run(until=100.0)  # idempotent: already caught up
+    assert sim.now == 100.0
+
+
+def test_run_until_never_moves_clock_backwards():
+    sim = Simulator()
+    sim.schedule(7.0, lambda: None)
+    sim.run()  # drain, no bound: now == last event
+    assert sim.now == 7.0
+    sim.run(until=3.0)  # bound in the past must not rewind the clock
+    assert sim.now == 7.0
+
+
 def test_run_max_events_budget():
     sim = Simulator()
     fired = []
@@ -80,6 +112,30 @@ def test_run_max_events_budget():
     sim.run(max_events=3)
     assert fired == [0, 1, 2]
     assert sim.pending_events() == 7
+
+
+def test_run_max_events_exhaustion_leaves_clock_mid_flight():
+    """When the budget runs out the run is mid-flight: the clock stays at
+    the last processed event instead of jumping to ``until``."""
+    sim = Simulator()
+    for i in range(10):
+        sim.schedule(float(i), lambda: None)
+    sim.run(until=50.0, max_events=3)
+    assert sim.now == 2.0
+    assert sim.last_event_time == 2.0
+    sim.run(until=50.0)  # finishing the run catches the clock up
+    assert sim.now == 50.0
+    assert sim.last_event_time == 9.0
+
+
+def test_last_event_time_tracks_activity_not_bound():
+    sim = Simulator()
+    assert sim.last_event_time == 0.0
+    sim.schedule(4.0, lambda: None)
+    sim.run(until=1_000.0)
+    assert sim.last_event_time == 4.0
+    sim.run(until=2_000.0)  # nothing processed: unchanged
+    assert sim.last_event_time == 4.0
 
 
 def test_timer_cancellation_via_handle():
