@@ -20,6 +20,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.experiments import (
     run_ablation,
+    run_chaos_resilience,
     run_churn,
     run_load_balance,
     run_availability,
@@ -40,7 +41,14 @@ from repro.metrics.tables import render_table
 from repro.mutex.registry import algorithm_names
 from repro.parallel import RunCache, TrialPool, WORKERS_ENV
 from repro.quorums.registry import quorum_system_names
-from repro.sim.network import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.ft.chaos import CHAOS_PRESETS, chaos_preset
+from repro.sim.network import (
+    ConstantDelay,
+    ExponentialDelay,
+    FaultModel,
+    UniformDelay,
+)
+from repro.sim.transport import ReliableConfig
 from repro.workload.arrivals import PoissonArrivals
 from repro.workload.driver import OpenLoopWorkload, SaturationWorkload
 
@@ -58,6 +66,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentReport]] = {
     "E10": run_load_balance,
     "E11": run_churn,
     "E12": run_queueing,
+    "E13": run_chaos_resilience,
 }
 
 
@@ -129,6 +138,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro/trials)",
     )
+    _add_fault_args(run_p)
+    run_p.add_argument(
+        "--fault-plan", default=None, choices=sorted(CHAOS_PRESETS),
+        help="seeded chaos schedule to overlay on the run",
+    )
+    run_p.add_argument(
+        "--reliable", action=argparse.BooleanOptionalAction, default=None,
+        help="reliable-channel layer (default: on iff any fault flag is set)",
+    )
 
     exp_p = sub.add_parser(
         "experiment", help="regenerate a paper table/figure (or 'all')"
@@ -149,7 +167,54 @@ def build_parser() -> argparse.ArgumentParser:
     fmt.add_argument(
         "--json", action="store_true", help="emit JSON instead of a table"
     )
+    exp_p.add_argument(
+        "--loss", default=None, metavar="R[,R...]",
+        help="E13 only: comma-separated loss rates to sweep",
+    )
+    exp_p.add_argument("--dup", type=float, default=None, help="E13 only")
+    exp_p.add_argument("--reorder", type=float, default=None, help="E13 only")
+    exp_p.add_argument("--chaos-seed", type=int, default=None, help="E13 only")
     return parser
+
+
+def _add_fault_args(run_p: argparse.ArgumentParser) -> None:
+    run_p.add_argument(
+        "--loss", type=float, default=0.0, metavar="P",
+        help="per-message drop probability (adversarial network)",
+    )
+    run_p.add_argument(
+        "--dup", type=float, default=0.0, metavar="P",
+        help="per-message duplication probability",
+    )
+    run_p.add_argument(
+        "--reorder", type=float, default=0.0, metavar="P",
+        help="per-message reordering probability (breaks channel FIFO)",
+    )
+    run_p.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed for the fault RNG stream and --fault-plan schedule",
+    )
+
+
+def _fault_setup(args: argparse.Namespace):
+    """(fault_model, reliable_config, chaos) from the run subcommand flags."""
+    fault_model = None
+    if args.loss or args.dup or args.reorder:
+        fault_model = FaultModel(
+            loss=args.loss,
+            duplicate=args.dup,
+            reorder=args.reorder,
+            chaos_seed=args.chaos_seed,
+        )
+    chaos = (
+        chaos_preset(args.fault_plan, seed=args.chaos_seed)
+        if args.fault_plan
+        else None
+    )
+    reliable = args.reliable
+    if reliable is None:
+        reliable = fault_model is not None or chaos is not None
+    return fault_model, (ReliableConfig() if reliable else None), chaos
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -159,6 +224,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         workload = OpenLoopWorkload(PoissonArrivals(args.poisson), args.horizon)
     else:
         workload = SaturationWorkload(20)
+    fault_model, reliable, chaos = _fault_setup(args)
     config = RunConfig(
         algorithm=args.algorithm,
         n_sites=args.sites,
@@ -167,6 +233,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         delay_model=args.delay,
         cs_duration=args.cs_duration,
         workload=workload,
+        fault_model=fault_model,
+        reliable=reliable,
+        chaos=chaos,
     )
     if args.trials < 1:
         raise SystemExit("--trials must be >= 1")
@@ -206,9 +275,27 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     env_workers = os.environ.get(WORKERS_ENV)
     if args.workers is not None:
         os.environ[WORKERS_ENV] = str(args.workers)
+    chaos_flags = {
+        "loss_rates": (
+            tuple(float(x) for x in args.loss.split(","))
+            if args.loss is not None
+            else None
+        ),
+        "duplicate": args.dup,
+        "reorder": args.reorder,
+        "chaos_seed": args.chaos_seed,
+    }
+    chaos_flags = {k: v for k, v in chaos_flags.items() if v is not None}
     try:
         for exp_id in ids:
-            report = EXPERIMENTS[exp_id]()
+            kwargs = chaos_flags if exp_id == "E13" else {}
+            if chaos_flags and exp_id != "E13" and args.id != "all":
+                print(
+                    f"warning: --loss/--dup/--reorder/--chaos-seed only "
+                    f"apply to E13, ignored for {exp_id}",
+                    file=sys.stderr,
+                )
+            report = EXPERIMENTS[exp_id](**kwargs)
             if args.csv:
                 print(report.to_csv())
             elif args.json:

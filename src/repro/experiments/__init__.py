@@ -13,10 +13,12 @@ E9        Ablations: transfer mechanism, piggybacking
 E10       Arbitration load balance across constructions
 E11       Service continuity under crash/recovery churn
 E12       Arbiter queue dynamics across the load range
+E13       Chaos resilience: degradation vs packet-loss rate
 ========  =============================================================
 """
 
 from repro.experiments.ablation import run_ablation
+from repro.experiments.chaos_sweep import run_chaos_resilience
 from repro.experiments.churn import run_churn
 from repro.experiments.delay import run_delay
 from repro.experiments.fault_tolerance import run_availability, run_recovery
@@ -41,6 +43,7 @@ __all__ = [
     "replicate",
     "run_ablation",
     "run_availability",
+    "run_chaos_resilience",
     "run_churn",
     "run_delay",
     "run_heavy_load",

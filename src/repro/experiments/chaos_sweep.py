@@ -1,0 +1,127 @@
+"""Experiment E13 — chaos resilience: the loss sweep.
+
+The paper costs its algorithm on a reliable network. This experiment asks
+what that costing *buys* when the network misbehaves: with the reliable
+channel layer (:mod:`repro.sim.transport`) underneath, each algorithm is
+run across a sweep of packet-loss rates (with duplication and reordering
+held constant) and we record how response time, throughput, and the
+retransmission overhead degrade. Safety and liveness are verified on every
+cell — the table only exists because every run still satisfied mutual
+exclusion and served every request.
+
+The interesting quantity is ``retransmit/CS``: the extra network traffic
+the reliability layer spends per critical-section execution to present
+the algorithm with the loss-free FIFO channels the paper assumes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.report import ExperimentReport
+from repro.experiments.runner import RunConfig, run_many
+from repro.sim.network import FaultModel
+from repro.sim.transport import ReliableConfig
+from repro.workload.driver import SaturationWorkload
+
+DEFAULT_LOSS_RATES = (0.0, 0.05, 0.1, 0.2)
+ALGORITHMS = ("cao-singhal", "maekawa", "ricart-agrawala")
+
+
+def run_chaos_resilience(
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    algorithms: Sequence[str] = ALGORITHMS,
+    seeds: Sequence[int] = (0, 1, 2),
+    n_sites: int = 9,
+    requests_per_site: int = 5,
+    duplicate: float = 0.05,
+    reorder: float = 0.1,
+    chaos_seed: int = 0,
+    workers: Optional[int] = None,
+) -> ExperimentReport:
+    """Delay/throughput/retransmit-overhead degradation vs loss rate.
+
+    Every cell averages ``seeds`` independent runs; each run goes through
+    the full verification layer, so a row in the table is also a proof
+    that the algorithm stayed safe and live at that loss rate.
+    """
+    report = ExperimentReport(
+        experiment_id="E13",
+        title=(
+            f"Chaos resilience, N={n_sites}, dup={duplicate}, "
+            f"reorder={reorder} (response in T | retransmit/CS | throughput)"
+        ),
+        headers=["loss", "algorithm", "resp(T)", "msgs/CS", "rtx/CS", "thrpt"],
+    )
+
+    configs = []
+    cells = []
+    for loss in loss_rates:
+        for algorithm in algorithms:
+            for seed in seeds:
+                fault_model = None
+                reliable = None
+                if loss or duplicate or reorder:
+                    fault_model = FaultModel(
+                        loss=loss,
+                        duplicate=duplicate,
+                        reorder=reorder,
+                        chaos_seed=chaos_seed,
+                    )
+                    reliable = ReliableConfig()
+                configs.append(
+                    RunConfig(
+                        algorithm=algorithm,
+                        n_sites=n_sites,
+                        seed=seed,
+                        workload=SaturationWorkload(requests_per_site),
+                        fault_model=fault_model,
+                        reliable=reliable,
+                    )
+                )
+                cells.append((loss, algorithm))
+    summaries = run_many(configs, workers=workers)
+
+    baseline = {}
+    grouped = {}
+    for (loss, algorithm), summary in zip(cells, summaries):
+        grouped.setdefault((loss, algorithm), []).append(summary)
+    for loss in loss_rates:
+        for algorithm in algorithms:
+            group = grouped[(loss, algorithm)]
+            n = len(group)
+            resp = sum(s.response_time_in_t for s in group) / n
+            msgs = sum(s.messages_per_cs for s in group) / n
+            rtx = sum(
+                s.channel_stats.get("retransmitted", 0) / max(s.completed, 1)
+                for s in group
+            ) / n
+            thrpt = sum(s.throughput for s in group) / n
+            if loss == min(loss_rates):
+                baseline[algorithm] = (resp, thrpt)
+            report.add_row(
+                loss,
+                algorithm,
+                round(resp, 3),
+                round(msgs, 2),
+                round(rtx, 2),
+                round(thrpt, 4),
+            )
+
+    worst = max(loss_rates)
+    for algorithm in algorithms:
+        base_resp, base_thrpt = baseline[algorithm]
+        peak = grouped[(worst, algorithm)]
+        peak_resp = sum(s.response_time_in_t for s in peak) / len(peak)
+        peak_thrpt = sum(s.throughput for s in peak) / len(peak)
+        report.add_note(
+            f"{algorithm}: at loss={worst} response is "
+            f"{peak_resp / base_resp:.2f}x the loss-free value, throughput "
+            f"{peak_thrpt / base_thrpt:.2f}x; every run stayed safe and "
+            "served all requests."
+        )
+    report.add_note(
+        "rtx/CS is the reliability tax: retransmissions spent per CS to "
+        "present the paper's loss-free FIFO channel abstraction."
+    )
+    return report

@@ -20,8 +20,9 @@ from repro.metrics.summary import RunSummary, summarize
 from repro.mutex.base import DurationSpec, MutexSite
 from repro.mutex.registry import get_algorithm_spec
 from repro.quorums.registry import make_quorum_system
-from repro.sim.network import ConstantDelay, DelayModel, UniformDelay
+from repro.sim.network import ConstantDelay, DelayModel, FaultModel, UniformDelay
 from repro.sim.simulator import Simulator
+from repro.sim.transport import ReliableConfig
 from repro.verify.checker import check_quiescent
 from repro.verify.invariants import (
     check_mutual_exclusion,
@@ -47,6 +48,17 @@ class RunConfig:
     max_events: int = 20_000_000
     trace: bool = False
     verify: bool = True
+    #: Adversarial-transport fault injection (loss/burst/dup/reorder);
+    #: ``None`` keeps the network reliable and the kernel byte-identical.
+    fault_model: Optional[FaultModel] = None
+    #: Reliable-channel layer between nodes and the network. ``None``
+    #: sends raw; pass a :class:`~repro.sim.transport.ReliableConfig` to
+    #: get exactly-once FIFO delivery over a faulty network.
+    reliable: Optional[ReliableConfig] = None
+    #: Scripted/randomized fault schedule (a
+    #: :class:`repro.ft.chaos.FaultPlan` or
+    #: :class:`repro.ft.chaos.ChaosSchedule`) installed before the run.
+    chaos: Optional[object] = None
 
     def resolved_quorum(self) -> Optional[str]:
         """The quorum construction to use, or ``None`` for non-quorum
@@ -81,11 +93,20 @@ def build_run(config: RunConfig):
     if quorum_system is not None:
         quorum_system.validate()
 
+    fault_model = config.fault_model
+    if fault_model is None and config.chaos is not None:
+        # Chaos overlays (loss bursts, delay spikes) act through the fault
+        # branch of Network.send; an all-zero model turns that branch on
+        # without injecting any faults of its own.
+        fault_model = FaultModel()
     sim = Simulator(
         seed=config.seed,
         delay_model=config.delay_model or UniformDelay(0.5, 1.5),
         trace=config.trace,
+        fault_model=fault_model,
     )
+    if config.reliable is not None:
+        sim.install_transport(config.reliable)
     collector = MetricsCollector()
     sites = [
         spec.factory(i, config.n_sites, quorum_system, config.cs_duration, collector)
@@ -93,9 +114,44 @@ def build_run(config: RunConfig):
     ]
     for site in sites:
         sim.add_node(site)
+    if sim.transport is not None:
+        sim.transport.on_give_up = _give_up_hook(sites)
+    if config.chaos is not None:
+        plan = config.chaos
+        materialize = getattr(plan, "materialize", None)
+        if materialize is not None:
+            plan = materialize(config.n_sites)
+        plan.install(sim, sites)
     workload = config.workload or SaturationWorkload(20)
     submitted = workload.install(sim, sites)
     return sim, sites, collector, quorum_system, submitted
+
+
+def _give_up_hook(sites: List[MutexSite]):
+    """Feed channel give-ups into the failure-detector path.
+
+    When the reliable layer exhausts its retries toward a peer, the local
+    site has channel-level evidence the peer is unreachable: a monitored
+    site routes it through its heartbeat detector (which broadcasts the
+    paper's ``failure(i)``), a plain fault-tolerant site applies the
+    Section 6 cleanup directly, and any other algorithm ignores it (it
+    has no failure handling to feed).
+    """
+    from repro.core.faults import FaultTolerantSite
+    from repro.ft.recovery import MonitoredSite
+
+    by_id = {site.site_id: site for site in sites}
+
+    def give_up(src: int, dst: int) -> None:
+        site = by_id.get(src)
+        if site is None or site.crashed:
+            return
+        if isinstance(site, MonitoredSite):
+            site.monitor.force_suspect(dst)
+        elif isinstance(site, FaultTolerantSite):
+            site.notify_failure(dst)
+
+    return give_up
 
 
 def run_mutex(config: RunConfig) -> RunResult:
@@ -135,8 +191,32 @@ def run_mutex(config: RunConfig) -> RunResult:
         mean_quorum_size=(
             quorum_system.mean_quorum_size() if quorum_system else None
         ),
+        channel_stats=_channel_stats(sim),
     )
     return RunResult(summary=summary, sim=sim, sites=sites, collector=collector)
+
+
+def _channel_stats(sim: Simulator) -> dict:
+    """Non-zero reliability counters from the network and transport.
+
+    Returns ``{}`` for a clean run over a reliable network, which keeps
+    historical summary digests (golden fingerprints, cache records)
+    byte-identical.
+    """
+    out: dict = {}
+    ns = sim.network.stats
+    for name in (
+        "messages_dropped",
+        "messages_lost",
+        "messages_duplicated",
+        "messages_reordered",
+    ):
+        value = getattr(ns, name)
+        if value:
+            out[name] = value
+    if sim.transport is not None:
+        out.update(sim.transport.stats_dict())
+    return out
 
 
 def run_many(

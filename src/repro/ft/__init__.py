@@ -1,6 +1,29 @@
-"""Fault tolerance: failure detection and the Section 6 recovery protocol."""
+"""Fault tolerance: failure detection, the Section 6 recovery protocol,
+and the deterministic chaos engine."""
 
+from repro.ft.chaos import (
+    ChaosSchedule,
+    CrashCycle,
+    DelaySpike,
+    FaultPlan,
+    LinkCut,
+    LossBurst,
+    chaos_preset,
+)
 from repro.ft.detector import Heartbeat, HeartbeatMonitor
 from repro.ft.recovery import ChurnPlan, CrashPlan, MonitoredSite
 
-__all__ = ["ChurnPlan", "CrashPlan", "Heartbeat", "HeartbeatMonitor", "MonitoredSite"]
+__all__ = [
+    "ChaosSchedule",
+    "ChurnPlan",
+    "CrashCycle",
+    "CrashPlan",
+    "DelaySpike",
+    "FaultPlan",
+    "Heartbeat",
+    "HeartbeatMonitor",
+    "LinkCut",
+    "LossBurst",
+    "MonitoredSite",
+    "chaos_preset",
+]

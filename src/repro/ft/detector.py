@@ -105,6 +105,19 @@ class HeartbeatMonitor:
             return src
         return None
 
+    def force_suspect(self, peer: SiteId) -> None:
+        """Adopt an externally sourced suspicion (e.g. a reliable-channel
+        give-up after ``max_retries`` retransmissions went unacked).
+
+        Runs the same ``on_suspect`` path as a heartbeat timeout, at most
+        once per standing suspicion; evidence of life later withdraws it
+        through :meth:`observe` exactly as for timeout-raised suspicions.
+        """
+        if peer not in self.last_seen or peer in self.suspected:
+            return
+        self.suspected.add(peer)
+        self.on_suspect(peer)
+
     # -- internals -------------------------------------------------------------
 
     def _emit(self) -> None:

@@ -106,12 +106,22 @@ class RunSummary:
     response_time_in_t: float = float("nan")
     throughput: float = float("nan")
     fairness: float = float("nan")
+    #: Channel-reliability counters (fault-injected losses, duplicates,
+    #: reorders from :class:`repro.sim.network.NetworkStats`; retransmits,
+    #: dedups, acks from :class:`repro.sim.transport.TransportStats`).
+    #: Empty for a run with no faults and no reliable transport, and then
+    #: omitted from :meth:`to_dict` so historical summary digests (the
+    #: golden kernel fingerprints) are unchanged.
+    channel_stats: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         """JSON-ready representation (used by the on-disk run cache)."""
         import dataclasses
 
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        if not data["channel_stats"]:
+            del data["channel_stats"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunSummary":
@@ -142,6 +152,11 @@ class RunSummary:
             f"throughput       : {self.throughput:.4f} CS/time-unit",
             f"fairness (Jain)  : {self.fairness:.3f}",
         ]
+        if self.channel_stats:
+            pairs = ", ".join(
+                f"{k}={v}" for k, v in sorted(self.channel_stats.items())
+            )
+            lines.append(f"channel          : {pairs}")
         return "\n".join(lines)
 
 
@@ -157,6 +172,7 @@ def summarize(
     quorum_name: Optional[str] = None,
     mean_quorum_size: Optional[float] = None,
     warmup_fraction: float = 0.1,
+    channel_stats: Optional[Dict[str, int]] = None,
 ) -> RunSummary:
     """Fold raw records and counters into a :class:`RunSummary`.
 
@@ -198,4 +214,5 @@ def summarize(
         response_time_in_t=resp_stats.mean / mean_delay_t,
         throughput=len(done) / duration if duration > 0 else float("nan"),
         fairness=jain_fairness(counts, n_sites),
+        channel_stats=dict(channel_stats or {}),
     )

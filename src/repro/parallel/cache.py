@@ -41,7 +41,7 @@ from repro.metrics.instruments import CacheStats
 from repro.metrics.summary import RunSummary
 
 #: Bump whenever a protocol/simulator change can alter trial outcomes.
-PROTOCOL_VERSION = "repro-trials-v1"
+PROTOCOL_VERSION = "repro-trials-v2"
 
 #: Environment override for the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

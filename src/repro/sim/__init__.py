@@ -4,7 +4,10 @@ Implements the paper's system model (Section 2): ``N`` fully connected
 sites communicating asynchronously over reliable FIFO channels with
 unpredictable but positive message delays, no shared memory, no global
 clock. The fault-tolerance experiments extend the model with fail-stop
-crashes and severed links.
+crashes and severed links; the robustness experiments drop the
+reliable-channel assumption entirely (:class:`FaultModel` makes the raw
+network lossy/duplicating/reordering, :class:`ReliableTransport`
+rebuilds exactly-once FIFO delivery on top).
 """
 
 from repro.sim.event import Event, EventQueue
@@ -12,6 +15,8 @@ from repro.sim.network import (
     ConstantDelay,
     DelayModel,
     ExponentialDelay,
+    FaultModel,
+    GilbertElliott,
     LogNormalDelay,
     Network,
     NetworkStats,
@@ -22,6 +27,7 @@ from repro.sim.node import Node
 from repro.sim.rng import SeedSequence
 from repro.sim.simulator import Simulator
 from repro.sim.trace import NullTrace, Trace, TraceRecord
+from repro.sim.transport import ReliableConfig, ReliableTransport, TransportStats
 
 __all__ = [
     "ConstantDelay",
@@ -29,15 +35,20 @@ __all__ = [
     "Event",
     "EventQueue",
     "ExponentialDelay",
+    "FaultModel",
+    "GilbertElliott",
     "LogNormalDelay",
     "Network",
     "NetworkStats",
     "Node",
     "NullTrace",
     "ParetoDelay",
+    "ReliableConfig",
+    "ReliableTransport",
     "SeedSequence",
     "Simulator",
     "Trace",
     "TraceRecord",
+    "TransportStats",
     "UniformDelay",
 ]

@@ -12,6 +12,16 @@ severed links, which the network models by silently dropping traffic to and
 from crashed/partitioned endpoints (a crashed site neither sends nor
 receives; the paper's Section 6 recovery protocol then repairs the
 protocol-level state).
+
+Beyond crashes and partitions, the network can run *adversarially*: a
+pluggable :class:`FaultModel` injects per-channel message loss (independent
+or bursty via a two-state Gilbert–Elliott chain), duplication, and
+reordering (a message may bypass the FIFO clamp and pick up extra jitter,
+so later sends overtake it). Fault decisions draw from a dedicated RNG
+stream derived from the run seed, so chaotic runs replay exactly; with no
+fault model installed the send path is byte-identical to the reliable
+network. The :mod:`repro.sim.transport` layer rebuilds exactly-once FIFO
+delivery on top.
 """
 
 from __future__ import annotations
@@ -187,6 +197,110 @@ class ExponentialDelay(DelayModel):
         return f"ExponentialDelay(mean={self._mean}, floor={self._floor})"
 
 
+class GilbertElliott:
+    """Two-state burst-loss chain (Gilbert–Elliott model).
+
+    Each channel is independently in a *good* or *bad* state; every send
+    on the channel first takes one Markov step (good→bad with probability
+    ``p_enter``, bad→good with ``p_exit``), then a message sent in the bad
+    state is lost with probability ``loss`` (on top of the fault model's
+    base loss). Small ``p_enter`` with small ``p_exit`` yields rare but
+    long loss bursts — the regime that defeats naive single-retry schemes.
+    """
+
+    __slots__ = ("p_enter", "p_exit", "loss")
+
+    def __init__(
+        self, p_enter: float = 0.01, p_exit: float = 0.25, loss: float = 0.9
+    ) -> None:
+        for name, p in (("p_enter", p_enter), ("p_exit", p_exit), ("loss", loss)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be a probability in [0, 1], got {p}"
+                )
+        if p_exit <= 0.0:
+            raise ConfigurationError("p_exit must be positive or bursts never end")
+        self.p_enter = float(p_enter)
+        self.p_exit = float(p_exit)
+        self.loss = float(loss)
+
+    def __repr__(self) -> str:
+        return (
+            f"GilbertElliott(p_enter={self.p_enter}, p_exit={self.p_exit}, "
+            f"loss={self.loss})"
+        )
+
+
+class FaultModel:
+    """Immutable description of channel-level fault injection.
+
+    Pure configuration: per-run mutable state (the Gilbert–Elliott chain
+    position per channel) lives in the :class:`Network`, so one model
+    instance can parameterize many runs (and be fingerprinted by the trial
+    cache) without cross-run leakage.
+
+    Parameters
+    ----------
+    loss:
+        Independent per-message drop probability.
+    duplicate:
+        Probability a message is delivered twice (the copy takes an
+        independently sampled delay and never tightens the FIFO clamp).
+    reorder:
+        Probability a message bypasses the FIFO clamp: it picks up extra
+        jitter, does not advance the channel's FIFO floor, and is
+        therefore overtaken by later, faster sends.
+    reorder_spread:
+        Jitter magnitude for reordered messages, as a multiple of the
+        delay model's mean ``T`` (actual jitter ~ U(0, spread*T)).
+    burst:
+        Optional :class:`GilbertElliott` burst-loss chain layered on top
+        of ``loss``.
+    chaos_seed:
+        Decouples the fault stream from the run seed: the same simulation
+        seed replayed under a different ``chaos_seed`` sees the same
+        delays but a different fault pattern.
+    """
+
+    __slots__ = ("loss", "duplicate", "reorder", "reorder_spread", "burst", "chaos_seed")
+
+    def __init__(
+        self,
+        loss: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        reorder_spread: float = 2.0,
+        burst: Optional[GilbertElliott] = None,
+        chaos_seed: int = 0,
+    ) -> None:
+        for name, p in (("loss", loss), ("duplicate", duplicate), ("reorder", reorder)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be a probability in [0, 1], got {p}"
+                )
+        if reorder_spread < 0:
+            raise ConfigurationError(
+                f"reorder_spread must be >= 0, got {reorder_spread}"
+            )
+        if burst is not None and not isinstance(burst, GilbertElliott):
+            raise ConfigurationError(
+                f"burst must be a GilbertElliott instance, got {burst!r}"
+            )
+        self.loss = float(loss)
+        self.duplicate = float(duplicate)
+        self.reorder = float(reorder)
+        self.reorder_spread = float(reorder_spread)
+        self.burst = burst
+        self.chaos_seed = int(chaos_seed)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultModel(loss={self.loss}, duplicate={self.duplicate}, "
+            f"reorder={self.reorder}, reorder_spread={self.reorder_spread}, "
+            f"burst={self.burst!r}, chaos_seed={self.chaos_seed})"
+        )
+
+
 @slotted_dataclass
 class NetworkStats:
     """Aggregate counters the metrics layer reads after a run."""
@@ -194,6 +308,10 @@ class NetworkStats:
     messages_sent: int = 0
     messages_delivered: int = 0
     messages_dropped: int = 0
+    #: Fault-injected losses (distinct from crash/sever drops above).
+    messages_lost: int = 0
+    messages_duplicated: int = 0
+    messages_reordered: int = 0
     total_latency: float = 0.0
     by_type: Dict[str, int] = field(default_factory=dict)
     #: Messages addressed to each site — the arbitration-load signal used
@@ -239,7 +357,13 @@ class Network:
         "_last_delivery",
         "_deliver_cb",
         "_crashed",
+        "_incarnation",
         "_severed",
+        "_faults",
+        "_fault_rng",
+        "_burst_bad",
+        "_loss_override",
+        "_delay_factor",
         "stats",
     )
 
@@ -252,6 +376,8 @@ class Network:
         rng: random.Random,
         schedule: Callable[..., Any],
         now: Callable[[], float],
+        fault_model: Optional[FaultModel] = None,
+        fault_rng: Optional[random.Random] = None,
     ) -> None:
         # The delay model is consulted once per send; bind its bound method
         # and mean up front so the hot path pays no repeated virtual lookup.
@@ -263,7 +389,26 @@ class Network:
         self._last_delivery: Dict[Tuple[SiteId, SiteId], float] = {}
         self._deliver_cb: Optional[DeliverCallback] = None
         self._crashed: Set[SiteId] = set()
+        #: Per-site crash count. A message in flight remembers its
+        #: sender's incarnation at send time; a mismatch at delivery time
+        #: means the sender crashed in between, and fail-stop semantics
+        #: drop the message — even if the sender has already recovered.
+        self._incarnation: Dict[SiteId, int] = {}
         self._severed: Set[Tuple[SiteId, SiteId]] = set()
+        if fault_model is not None and fault_rng is None:
+            raise ConfigurationError(
+                "a fault model needs its own RNG stream (fault_rng)"
+            )
+        self._faults = fault_model
+        self._fault_rng = fault_rng
+        #: Per-channel Gilbert–Elliott state: True while the channel is in
+        #: its bad (bursty-loss) state. Reset per run, not per model.
+        self._burst_bad: Dict[Tuple[SiteId, SiteId], bool] = {}
+        #: Chaos-engine runtime overlays (see repro.ft.chaos): an active
+        #: loss burst replaces the model's base loss; a delay spike
+        #: multiplies sampled latencies.
+        self._loss_override: Optional[float] = None
+        self._delay_factor = 1.0
         self.stats = NetworkStats()
 
     @property
@@ -281,9 +426,13 @@ class Network:
         """Stop delivering to and accepting traffic from ``site``.
 
         Messages already in flight toward a crashed site are dropped at
-        delivery time, modelling a fail-stop crash.
+        delivery time, modelling a fail-stop crash. Messages in flight
+        *from* the site are dropped too — permanently: the crash bumps
+        the site's incarnation, so its pre-crash traffic can never
+        arrive late, not even after the site recovers.
         """
         self._crashed.add(site)
+        self._incarnation[site] = self._incarnation.get(site, 0) + 1
 
     def recover(self, site: SiteId) -> None:
         """Allow ``site`` to communicate again (crash-recovery model)."""
@@ -302,6 +451,41 @@ class Network:
     def is_crashed(self, site: SiteId) -> bool:
         """True if ``site`` is currently crashed."""
         return site in self._crashed
+
+    # -- chaos overlays ----------------------------------------------------
+
+    @property
+    def has_faults(self) -> bool:
+        """True when a :class:`FaultModel` is installed."""
+        return self._faults is not None
+
+    def set_loss_override(self, loss: Optional[float]) -> None:
+        """Replace the fault model's base loss (``None`` restores it).
+
+        Used by the chaos engine's scripted loss bursts; requires a fault
+        model (even an all-zero one) so the override has a path to act on.
+        """
+        if self._faults is None:
+            raise SimulationError(
+                "loss override requires a fault model (install FaultModel())"
+            )
+        if loss is not None and not 0.0 <= loss <= 1.0:
+            raise SimulationError(f"loss override must be in [0, 1], got {loss}")
+        self._loss_override = loss
+
+    def set_delay_factor(self, factor: float) -> None:
+        """Scale every sampled latency by ``factor`` (chaos delay spikes).
+
+        Only consulted while a fault model is installed, keeping the
+        fault-free hot path untouched.
+        """
+        if self._faults is None:
+            raise SimulationError(
+                "delay factor requires a fault model (install FaultModel())"
+            )
+        if factor <= 0:
+            raise SimulationError(f"delay factor must be positive, got {factor}")
+        self._delay_factor = float(factor)
 
     # -- transport ---------------------------------------------------------
 
@@ -344,30 +528,89 @@ class Network:
         by_destination = stats.by_destination
         by_destination[dst] = by_destination.get(dst, 0) + 1
 
+        channel = (src, dst)
         now = self._now()
         delay = self._sample(self._rng, src, dst)
         if delay <= 0:
             raise SimulationError(f"delay model produced non-positive delay {delay}")
-        channel = (src, dst)
+
+        faults = self._faults
+        duplicated = False
+        bypass_fifo = False
+        if faults is not None:
+            frng = self._fault_rng
+            p_loss = (
+                faults.loss if self._loss_override is None else self._loss_override
+            )
+            burst = faults.burst
+            if burst is not None:
+                bad = self._burst_bad.get(channel, False)
+                if bad:
+                    if frng.random() < burst.p_exit:
+                        bad = False
+                elif frng.random() < burst.p_enter:
+                    bad = True
+                self._burst_bad[channel] = bad
+                if bad and burst.loss > p_loss:
+                    p_loss = burst.loss
+            if p_loss and frng.random() < p_loss:
+                stats.messages_lost += 1
+                return None
+            delay *= self._delay_factor
+            if faults.duplicate and frng.random() < faults.duplicate:
+                duplicated = True
+            if faults.reorder and frng.random() < faults.reorder:
+                # A reordered message picks up extra jitter and neither
+                # obeys nor advances the FIFO floor: later, faster sends
+                # on the channel overtake it.
+                bypass_fifo = True
+                delay += frng.uniform(0.0, faults.reorder_spread * self._mean_delay)
+                stats.messages_reordered += 1
+
         deliver_at = now + delay
-        last_delivery = self._last_delivery
-        prev = last_delivery.get(channel)
-        if prev is not None:
-            fifo_floor = prev + 1e-9  # FIFO_EPSILON, inlined as a constant
-            if deliver_at < fifo_floor:
-                deliver_at = fifo_floor
-        last_delivery[channel] = deliver_at
+        if not bypass_fifo:
+            last_delivery = self._last_delivery
+            prev = last_delivery.get(channel)
+            if prev is not None:
+                fifo_floor = prev + 1e-9  # FIFO_EPSILON, inlined as a constant
+                if deliver_at < fifo_floor:
+                    deliver_at = fifo_floor
+            last_delivery[channel] = deliver_at
+        inc = self._incarnation.get(src, 0) if self._incarnation else 0
         self._schedule(
             deliver_at,
             self._deliver,
-            (src, dst, payload, deliver_at - now),
+            (src, dst, payload, deliver_at - now, inc),
             type_name,
         )
+        if duplicated:
+            # The copy takes an independent delay (drawn from the fault
+            # stream so the primary delay sequence is undisturbed) and
+            # ignores the FIFO floor, like a stray retransmission.
+            stats.messages_duplicated += 1
+            dup_delay = self._sample(self._fault_rng, src, dst) * self._delay_factor
+            self._schedule(
+                now + dup_delay,
+                self._deliver,
+                (src, dst, payload, dup_delay, inc),
+                type_name,
+            )
         return deliver_at
 
-    def _deliver(self, src: SiteId, dst: SiteId, payload: Any, latency: float) -> None:
+    def _deliver(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        payload: Any,
+        latency: float,
+        inc: int = 0,
+    ) -> None:
         """Hand a due message to the delivery callback unless dropped."""
         if self._crashed and (dst in self._crashed or src in self._crashed):
+            self.stats.messages_dropped += 1
+            return
+        if self._incarnation and inc != self._incarnation.get(src, 0):
+            # Sent before the source's fail-stop crash: lost for good.
             self.stats.messages_dropped += 1
             return
         if self._severed and (src, dst) in self._severed:

@@ -79,13 +79,12 @@ class Node:
                 0.0, sim.deliver_local, (dst, message), "self-deliver"
             )
             return
-        sim.network.send(
-            self.site_id,
-            dst,
-            message,
-            getattr(message, "type_name", None) or type(message).__name__,
-            piggybacked,
-        )
+        type_name = getattr(message, "type_name", None) or type(message).__name__
+        transport = sim.transport
+        if transport is not None:
+            transport.send(self.site_id, dst, message, type_name, piggybacked)
+            return
+        sim.network.send(self.site_id, dst, message, type_name, piggybacked)
 
     def set_timer(
         self, delay: float, action: Callable[[], None], label: str = "timer"

@@ -28,7 +28,7 @@ from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.sim.event import Event, EventQueue
-from repro.sim.network import DelayModel, Network, UniformDelay
+from repro.sim.network import DelayModel, FaultModel, Network, UniformDelay
 from repro.sim.node import Node
 from repro.sim.rng import SeedSequence
 from repro.sim.trace import NullTrace, Trace
@@ -47,6 +47,7 @@ class Simulator:
         "nodes",
         "trace",
         "network",
+        "transport",
         "events_processed",
         "last_event_time",
     )
@@ -57,6 +58,7 @@ class Simulator:
         delay_model: Optional[DelayModel] = None,
         trace: Union[bool, Trace] = False,
         trace_capacity: Optional[int] = None,
+        fault_model: Optional[FaultModel] = None,
     ) -> None:
         self.seeds = SeedSequence(seed)
         self._queue = EventQueue()
@@ -72,13 +74,26 @@ class Simulator:
             self.trace = Trace(enabled=True, capacity=trace_capacity)
         else:
             self.trace = NullTrace()
+        # Fault decisions get their own stream (named by chaos_seed so the
+        # same run seed can replay under a different fault pattern);
+        # deriving it only when faults are on leaves every fault-free run's
+        # RNG usage untouched.
         self.network = Network(
             delay_model=delay_model or UniformDelay(0.5, 1.5),
             rng=self.seeds.derive("network"),
             schedule=self._schedule_at,
             now=lambda: self._now,
+            fault_model=fault_model,
+            fault_rng=(
+                self.seeds.derive(f"faults#{fault_model.chaos_seed}")
+                if fault_model is not None
+                else None
+            ),
         )
         self.network.on_deliver(self._dispatch)
+        #: Optional reliable-channel layer (see :meth:`install_transport`);
+        #: ``None`` means nodes talk straight to the raw network.
+        self.transport = None
         #: Number of events processed so far (cheap progress/health metric).
         self.events_processed = 0
         #: Time of the most recently processed event. Unlike :attr:`now`,
@@ -98,6 +113,24 @@ class Simulator:
         node.bind(self)
         self.nodes[node.site_id] = node
         return node
+
+    def install_transport(self, config=None):
+        """Layer reliable channels between nodes and the raw network.
+
+        Every subsequent :meth:`Node.send` routes through a
+        :class:`~repro.sim.transport.ReliableTransport` (sequence numbers,
+        cumulative acks, retransmission, dedup/reorder buffering) which
+        re-presents exactly-once FIFO delivery to ``on_message``. Call
+        before :meth:`start`. Returns the transport for give-up wiring.
+        """
+        from repro.sim.transport import ReliableConfig, ReliableTransport
+
+        if self._started:
+            raise SimulationError("cannot install a transport after start()")
+        if self.transport is not None:
+            raise SimulationError("a transport is already installed")
+        self.transport = ReliableTransport(self, config or ReliableConfig())
+        return self.transport
 
     def start(self) -> None:
         """Invoke every node's ``on_start`` hook. Idempotent."""
@@ -166,10 +199,27 @@ class Simulator:
         if node.crashed:
             self.network.stats.messages_dropped += 1
             return
+        transport = self.transport
+        if transport is not None:
+            # Raw network frames are transport segments; the transport
+            # unwraps, dedups, and re-orders, then hands the protocol
+            # payloads back through deliver_protocol.
+            transport.on_network_deliver(src, dst, payload)
+            return
         trace = self.trace
         if trace.enabled:
             trace.record(self._now, "deliver", dst, payload)
         node.on_message(src, payload)
+
+    def deliver_protocol(self, src: SiteId, dst: SiteId, message: Any) -> None:
+        """Deliver an unwrapped protocol message (transport layer exit)."""
+        node = self.nodes[dst]
+        if node.crashed:
+            return
+        trace = self.trace
+        if trace.enabled:
+            trace.record(self._now, "deliver", dst, message)
+        node.on_message(src, message)
 
     def deliver_local(self, site: SiteId, message: Any) -> None:
         """Deliver a self-addressed message (no network, no message cost)."""
@@ -190,6 +240,10 @@ class Simulator:
             return
         node.crashed = True
         self.network.crash(site)
+        if self.transport is not None:
+            # Fail-stop: channel state touching the site is lost, and
+            # retransmission must never resurrect its in-flight traffic.
+            self.transport.reset_site(site)
         self.trace.record(self._now, "crash", site)
         node.on_crash()
 

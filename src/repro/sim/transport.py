@@ -1,0 +1,476 @@
+"""Reliable channels over an unreliable network.
+
+The paper (like most mutual-exclusion papers) simply *assumes* reliable
+FIFO channels. This module discharges that assumption: a
+:class:`ReliableTransport` sits between :meth:`repro.sim.node.Node.send`
+and the raw :class:`~repro.sim.network.Network` and rebuilds exactly-once
+FIFO delivery over a transport that may drop, duplicate, or reorder
+(see :class:`~repro.sim.network.FaultModel`), using the textbook
+machinery (Aspnes, *Notes on Theory of Distributed Systems*, ch. 29):
+
+* **Sequence numbers** per directed channel, carried by every
+  :class:`Segment`;
+* **Cumulative acks**, piggybacked on reverse data traffic whenever any
+  exists (the paper's Section 5 costing rule: a piggybacked control
+  message is free) and otherwise emitted as a pure ``ack`` after a short
+  delayed-ack window;
+* **Retransmission timers** with exponential backoff and a cap — every
+  unacked segment is retransmitted each time the channel's timer fires;
+* **A dedup/reorder buffer** on the receiver: duplicates are dropped
+  (and re-acked, so lost acks heal), out-of-order segments are held
+  until the gap fills, and the protocol above observes exactly-once
+  FIFO delivery;
+* **Bounded retries**: after ``max_retries`` consecutive timeouts the
+  channel *gives up* — unacked traffic is discarded, the channel epoch
+  is bumped (so stale segments and acks are recognizably old), and the
+  :attr:`ReliableTransport.on_give_up` hook fires, feeding the failure
+  detector instead of retrying forever.
+
+Channel **epochs** make resets sound: a crash (fail-stop loses all
+channel state) or a give-up bumps the sender's epoch; the receiver
+resets its expectations on the first segment of a newer epoch and drops
+stragglers from older ones. Within one epoch delivery is exactly-once
+FIFO; across a reset, undelivered traffic is *lost, never duplicated or
+delayed* — exactly the fail-stop contract the recovery protocol in
+:mod:`repro.core.faults` is built on.
+
+The transport is deterministic (no RNG of its own) and, when not
+installed, costs the default send path one attribute check.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common import slotted_dataclass
+from repro.errors import ConfigurationError
+from repro.sim.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.simulator import Simulator
+
+SiteId = int
+Channel = Tuple[SiteId, SiteId]
+
+#: Cumulative-ack value meaning "nothing received yet".
+NO_ACK = -1
+
+
+@slotted_dataclass
+class ReliableConfig:
+    """Tuning knobs for the reliable-channel layer (pure data, cacheable).
+
+    Times are in simulation units; with the default delay models the mean
+    one-way latency ``T`` is 1.0, so ``rto=4.0`` means "retransmit after
+    ~2 round trips of silence".
+    """
+
+    #: Initial retransmission timeout.
+    rto: float = 4.0
+    #: Multiplicative backoff applied after every expiry.
+    backoff: float = 2.0
+    #: Cap on the backed-off timeout.
+    rto_max: float = 60.0
+    #: Consecutive expiries tolerated before the channel gives up.
+    max_retries: int = 12
+    #: Delayed-ack window: how long a receiver waits for reverse data to
+    #: piggyback on before paying for a pure ack message.
+    ack_delay: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rto <= 0:
+            raise ConfigurationError(f"rto must be positive, got {self.rto}")
+        if self.backoff < 1.0:
+            raise ConfigurationError(
+                f"backoff must be >= 1, got {self.backoff}"
+            )
+        if self.rto_max < self.rto:
+            raise ConfigurationError(
+                f"rto_max ({self.rto_max}) must be >= rto ({self.rto})"
+            )
+        if self.max_retries < 1:
+            raise ConfigurationError(
+                f"max_retries must be >= 1, got {self.max_retries}"
+            )
+        if self.ack_delay < 0:
+            raise ConfigurationError(
+                f"ack_delay must be >= 0, got {self.ack_delay}"
+            )
+
+
+class Segment:
+    """One data frame on a reliable channel.
+
+    Carries the payload plus the channel's ``(epoch, seq)`` position and a
+    piggybacked cumulative ack for the *reverse* channel: ``ack`` says
+    "I have delivered every reverse-channel segment up to and including
+    this seq, within reverse epoch ``ack_epoch``".
+    """
+
+    __slots__ = ("seq", "epoch", "ack", "ack_epoch", "payload", "type_name")
+
+    def __init__(
+        self,
+        seq: int,
+        epoch: int,
+        ack: int,
+        ack_epoch: int,
+        payload: Any,
+        type_name: str,
+    ) -> None:
+        self.seq = seq
+        self.epoch = epoch
+        self.ack = ack
+        self.ack_epoch = ack_epoch
+        self.payload = payload
+        self.type_name = type_name
+
+    def __repr__(self) -> str:
+        return (
+            f"Segment(seq={self.seq}, epoch={self.epoch}, ack={self.ack}, "
+            f"payload={self.payload!r})"
+        )
+
+
+class AckSegment:
+    """A pure cumulative ack (sent only when no data could carry it)."""
+
+    __slots__ = ("ack", "epoch")
+
+    type_name = "ack"
+
+    def __init__(self, ack: int, epoch: int) -> None:
+        self.ack = ack
+        self.epoch = epoch
+
+    def __repr__(self) -> str:
+        return f"AckSegment(ack={self.ack}, epoch={self.epoch})"
+
+
+@slotted_dataclass
+class TransportStats:
+    """Counters the metrics layer folds into ``channel_stats``."""
+
+    #: Protocol messages accepted from the node layer.
+    data_sent: int = 0
+    #: Segment (re)transmissions beyond the first attempt.
+    retransmitted: int = 0
+    #: Duplicate segments discarded by the receive buffer.
+    deduped: int = 0
+    #: Out-of-order segments parked until their gap filled.
+    buffered: int = 0
+    #: Segments dropped for belonging to a superseded epoch.
+    stale: int = 0
+    #: Pure ack messages actually paid for on the network.
+    acks_sent: int = 0
+    #: Acks that rode reverse data traffic for free (Section 5 costing).
+    acks_piggybacked: int = 0
+    #: Channels that exhausted max_retries and reset.
+    give_ups: int = 0
+    #: Protocol messages re-presented, exactly once and in order.
+    delivered: int = 0
+
+
+class _SendState:
+    """Sender half of one directed channel."""
+
+    __slots__ = ("epoch", "next_seq", "unacked", "retries", "rto", "timer")
+
+    def __init__(self, base_rto: float) -> None:
+        self.epoch = 0
+        self.next_seq = 0
+        #: seq -> Segment, insertion-ordered (seqs only ever grow).
+        self.unacked: Dict[int, Segment] = {}
+        self.retries = 0
+        self.rto = base_rto
+        self.timer: Optional[Event] = None
+
+    def reset(self, base_rto: float) -> None:
+        """Abandon the current epoch: in-flight traffic is lost for good."""
+        self.epoch += 1
+        self.next_seq = 0
+        self.unacked.clear()
+        self.retries = 0
+        self.rto = base_rto
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+
+
+class _RecvState:
+    """Receiver half of one directed channel."""
+
+    __slots__ = ("epoch", "expected", "buffer", "ack_timer")
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self.expected = 0
+        #: seq -> Segment parked until the sequence gap fills.
+        self.buffer: Dict[int, Segment] = {}
+        self.ack_timer: Optional[Event] = None
+
+    @property
+    def cumulative_ack(self) -> int:
+        """Highest seq below which everything was delivered (or NO_ACK)."""
+        return self.expected - 1 if self.expected > 0 else NO_ACK
+
+    def adopt_epoch(self, epoch: int) -> None:
+        """A newer sender epoch obsoletes everything buffered so far."""
+        self.epoch = epoch
+        self.expected = 0
+        self.buffer.clear()
+
+
+class ReliableTransport:
+    """Exactly-once FIFO channels for every site pair in one simulator.
+
+    One instance serves the whole simulation (channels are cheap dict
+    entries created on first use), installed via
+    :meth:`repro.sim.simulator.Simulator.install_transport`.
+
+    ``on_give_up(src, dst)`` fires at most once per exhausted epoch when
+    ``src``'s channel to ``dst`` runs out of retries; wire it to the
+    failure-detector path (e.g.
+    :meth:`repro.ft.detector.HeartbeatMonitor.force_suspect` or
+    :meth:`repro.core.faults.FaultTolerantSite.notify_failure`) so
+    unreachable peers are handled by the recovery protocol instead of
+    being retried forever.
+    """
+
+    def __init__(self, sim: "Simulator", config: Optional[ReliableConfig] = None) -> None:
+        self.sim = sim
+        self.config = config or ReliableConfig()
+        self.stats = TransportStats()
+        self.on_give_up: Optional[Callable[[SiteId, SiteId], None]] = None
+        self._senders: Dict[Channel, _SendState] = {}
+        self._receivers: Dict[Channel, _RecvState] = {}
+
+    # -- channel state accessors -------------------------------------------
+
+    def _sender(self, src: SiteId, dst: SiteId) -> _SendState:
+        state = self._senders.get((src, dst))
+        if state is None:
+            state = self._senders[(src, dst)] = _SendState(self.config.rto)
+        return state
+
+    def _receiver(self, src: SiteId, dst: SiteId) -> _RecvState:
+        """State ``dst`` keeps about the data stream arriving from ``src``."""
+        state = self._receivers.get((src, dst))
+        if state is None:
+            state = self._receivers[(src, dst)] = _RecvState()
+        return state
+
+    # -- send path ---------------------------------------------------------
+
+    def send(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        message: Any,
+        type_name: str,
+        piggybacked: bool = False,
+    ) -> None:
+        """Accept one protocol message for reliable delivery to ``dst``."""
+        sender = self._sender(src, dst)
+        # Piggyback the reverse channel's cumulative ack on this segment;
+        # a pending pure-ack timer for that channel becomes unnecessary.
+        reverse = self._receiver(dst, src)
+        if reverse.ack_timer is not None:
+            reverse.ack_timer.cancel()
+            reverse.ack_timer = None
+            self.stats.acks_piggybacked += 1
+        segment = Segment(
+            seq=sender.next_seq,
+            epoch=sender.epoch,
+            ack=reverse.cumulative_ack,
+            ack_epoch=reverse.epoch,
+            payload=message,
+            type_name=type_name,
+        )
+        sender.next_seq += 1
+        sender.unacked[segment.seq] = segment
+        self.stats.data_sent += 1
+        self.sim.network.send(src, dst, segment, type_name, piggybacked)
+        if sender.timer is None:
+            sender.timer = self.sim.schedule_call(
+                sender.rto, self._on_rto, (src, dst), "rto"
+            )
+
+    # -- receive path ------------------------------------------------------
+
+    def on_network_deliver(self, src: SiteId, dst: SiteId, frame: Any) -> None:
+        """Handle one raw network frame addressed to a live node."""
+        if isinstance(frame, AckSegment):
+            self._process_ack(dst, src, frame.ack, frame.epoch)
+            return
+        if not isinstance(frame, Segment):
+            # A frame sent before the transport was installed (or by a
+            # direct network.send caller): pass it through untouched.
+            self.sim.deliver_protocol(src, dst, frame)
+            return
+        # The segment's piggybacked ack covers the reverse channel
+        # (data dst previously sent to src).
+        self._process_ack(dst, src, frame.ack, frame.ack_epoch)
+
+        recv = self._receiver(src, dst)
+        if frame.epoch > recv.epoch:
+            # The sender reset (crash recovery or give-up): everything
+            # buffered under the old epoch is lost by construction.
+            recv.adopt_epoch(frame.epoch)
+        elif frame.epoch < recv.epoch:
+            self.stats.stale += 1
+            return
+
+        seq = frame.seq
+        if seq < recv.expected or seq in recv.buffer:
+            # Duplicate (fault-injected or a retransmission that crossed
+            # its ack). Re-ack so a lost ack cannot retransmit forever.
+            self.stats.deduped += 1
+            self._schedule_ack(dst, src)
+            return
+        if seq == recv.expected:
+            self._deliver(src, dst, frame)
+            recv.expected += 1
+            # Drain any buffered run that this arrival unblocked.
+            while recv.expected in recv.buffer:
+                self._deliver(src, dst, recv.buffer.pop(recv.expected))
+                recv.expected += 1
+        else:
+            self.stats.buffered += 1
+            recv.buffer[seq] = frame
+        self._schedule_ack(dst, src)
+
+    def _deliver(self, src: SiteId, dst: SiteId, segment: Segment) -> None:
+        self.stats.delivered += 1
+        self.sim.deliver_protocol(src, dst, segment.payload)
+
+    # -- acks --------------------------------------------------------------
+
+    def _process_ack(self, owner: SiteId, peer: SiteId, ack: int, epoch: int) -> None:
+        """Apply a cumulative ack to ``owner``'s channel toward ``peer``."""
+        sender = self._senders.get((owner, peer))
+        if sender is None or epoch != sender.epoch or ack < 0:
+            return
+        unacked = sender.unacked
+        progressed = False
+        while unacked:
+            lowest = next(iter(unacked))
+            if lowest > ack:
+                break
+            del unacked[lowest]
+            progressed = True
+        if not progressed:
+            return
+        # Progress resets the backoff; an empty window stops the timer.
+        sender.retries = 0
+        sender.rto = self.config.rto
+        if sender.timer is not None:
+            sender.timer.cancel()
+            sender.timer = None
+        if unacked:
+            sender.timer = self.sim.schedule_call(
+                sender.rto, self._on_rto, (owner, peer), "rto"
+            )
+
+    def _schedule_ack(self, owner: SiteId, peer: SiteId) -> None:
+        """Arm the delayed pure-ack for traffic ``owner`` got from ``peer``."""
+        recv = self._receiver(peer, owner)
+        if recv.ack_timer is not None:
+            return
+        recv.ack_timer = self.sim.schedule_call(
+            self.config.ack_delay, self._send_pure_ack, (owner, peer), "ack-delay"
+        )
+
+    def _send_pure_ack(self, owner: SiteId, peer: SiteId) -> None:
+        recv = self._receiver(peer, owner)
+        recv.ack_timer = None
+        if self.sim.nodes[owner].crashed:
+            return
+        self.stats.acks_sent += 1
+        self.sim.network.send(
+            owner, peer, AckSegment(recv.cumulative_ack, recv.epoch), "ack"
+        )
+
+    # -- retransmission ----------------------------------------------------
+
+    def _on_rto(self, src: SiteId, dst: SiteId) -> None:
+        sender = self._senders.get((src, dst))
+        if sender is None:
+            return
+        sender.timer = None
+        if not sender.unacked or self.sim.nodes[src].crashed:
+            return
+        sender.retries += 1
+        if sender.retries > self.config.max_retries:
+            # The peer is unreachable as far as this channel can tell:
+            # stop retrying, surface it, and reset so later traffic (e.g.
+            # after a heal or rejoin) starts a recognizably new epoch.
+            self.stats.give_ups += 1
+            sender.reset(self.config.rto)
+            if self.on_give_up is not None:
+                self.on_give_up(src, dst)
+            return
+        # Refresh each segment's piggybacked ack before re-sending: the
+        # retransmission is also this channel's reverse-ack carrier.
+        reverse = self._receiver(dst, src)
+        for segment in sender.unacked.values():
+            segment.ack = reverse.cumulative_ack
+            segment.ack_epoch = reverse.epoch
+            self.stats.retransmitted += 1
+            self.sim.network.send(src, dst, segment, segment.type_name)
+        sender.rto = min(sender.rto * self.config.backoff, self.config.rto_max)
+        sender.timer = self.sim.schedule_call(
+            sender.rto, self._on_rto, (src, dst), "rto"
+        )
+
+    # -- fail-stop integration ---------------------------------------------
+
+    def reset_site(self, site: SiteId) -> None:
+        """Fail-stop ``site``: drop channel state it participated in.
+
+        Sender states touching the site keep their identity but bump
+        their epoch (in-flight traffic is lost; post-recovery traffic is
+        recognizably new). The crashed site's own receive states are
+        deleted outright — its memory is gone — while peers keep theirs
+        and resynchronize via the epoch bump.
+        """
+        for (src, dst), sender in self._senders.items():
+            if src == site or dst == site:
+                sender.reset(self.config.rto)
+        for (src, dst), recv in list(self._receivers.items()):
+            if dst == site:
+                if recv.ack_timer is not None:
+                    recv.ack_timer.cancel()
+                del self._receivers[(src, dst)]
+            elif src == site and recv.ack_timer is not None:
+                recv.ack_timer.cancel()
+                recv.ack_timer = None
+
+    # -- introspection -----------------------------------------------------
+
+    def unacked_counts(self) -> Dict[Channel, int]:
+        """Outstanding unacked segments per channel (debugging/tests)."""
+        return {
+            channel: len(state.unacked)
+            for channel, state in self._senders.items()
+            if state.unacked
+        }
+
+    def stats_dict(self) -> Dict[str, int]:
+        """Non-zero transport counters, ready for ``channel_stats``."""
+        out: Dict[str, int] = {}
+        for name in (
+            "data_sent",
+            "retransmitted",
+            "deduped",
+            "buffered",
+            "stale",
+            "acks_sent",
+            "acks_piggybacked",
+            "give_ups",
+            "delivered",
+        ):
+            value = getattr(self.stats, name)
+            if value:
+                out[name] = value
+        return out

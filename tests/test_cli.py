@@ -55,8 +55,39 @@ def test_run_command_poisson(capsys):
     assert "ricart-agrawala" in capsys.readouterr().out
 
 
+def test_run_command_with_fault_flags(capsys):
+    code = main(
+        ["run", "-a", "cao-singhal", "--saturate", "3", "--delay",
+         "constant:1", "--loss", "0.2", "--dup", "0.05", "--reorder", "0.1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    # Fault flags auto-enable the reliable layer and surface its counters.
+    assert "channel" in out
+    assert "retransmitted" in out
+
+
+def test_run_command_with_fault_plan(capsys):
+    code = main(
+        ["run", "-a", "maekawa", "--saturate", "3", "--delay", "constant:1",
+         "--fault-plan", "loss-burst", "--chaos-seed", "5"]
+    )
+    assert code == 0
+    assert "maekawa" in capsys.readouterr().out
+
+
+def test_clean_run_keeps_reliable_layer_off(capsys):
+    code = main(
+        ["run", "-a", "cao-singhal", "--saturate", "3", "--delay", "constant:1"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "channel" not in out
+
+
 def test_experiment_ids_registered():
-    for exp_id in ("E1", "E2", "E3", "E4", "E5", "E6", "E7a", "E7b", "E8", "E9"):
+    for exp_id in ("E1", "E2", "E3", "E4", "E5", "E6", "E7a", "E7b", "E8",
+                   "E9", "E13"):
         assert exp_id in EXPERIMENTS
 
 

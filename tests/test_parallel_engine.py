@@ -195,7 +195,7 @@ def test_corrupted_cache_record_is_a_miss_not_a_crash(tmp_path):
 def test_cache_miss_on_salt_change(tmp_path):
     config = small_config()
     TrialPool(workers=1, cache=RunCache(tmp_path)).run_seeds(config, [0])
-    bumped = RunCache(tmp_path, salt="repro-trials-v2")
+    bumped = RunCache(tmp_path, salt="salt-bumped-for-test")
     TrialPool(workers=1, cache=bumped).run_seeds(config, [0])
     assert bumped.stats.hits == 0
     assert bumped.stats.misses == 1

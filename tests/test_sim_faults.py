@@ -1,0 +1,204 @@
+"""Tests for the adversarial network: FaultModel, Gilbert–Elliott bursts,
+and the fault counters surfaced through RunSummary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.experiments.runner import RunConfig, run_mutex
+from repro.sim.network import ConstantDelay, FaultModel, GilbertElliott
+from repro.sim.node import Node
+from repro.sim.simulator import Simulator
+from repro.sim.transport import ReliableConfig
+from repro.workload.driver import SaturationWorkload
+
+
+class Sink(Node):
+    def __init__(self, site_id):
+        super().__init__(site_id)
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append((self.now, src, message))
+
+
+def make_pair(fault_model, seed=0, delay=None):
+    sim = Simulator(
+        seed=seed,
+        delay_model=delay or ConstantDelay(1.0),
+        fault_model=fault_model,
+    )
+    a, b = Sink(0), Sink(1)
+    sim.add_node(a)
+    sim.add_node(b)
+    sim.start()
+    return sim, a, b
+
+
+# -- validation ---------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(loss=1.5),
+    dict(loss=-0.1),
+    dict(duplicate=2.0),
+    dict(reorder=-1.0),
+    dict(reorder_spread=-0.5),
+    dict(burst="not-a-chain"),
+])
+def test_fault_model_rejects_bad_parameters(kwargs):
+    with pytest.raises(ConfigurationError):
+        FaultModel(**kwargs)
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(p_enter=1.5),
+    dict(p_exit=0.0),
+    dict(loss=-0.1),
+])
+def test_gilbert_elliott_rejects_bad_parameters(kwargs):
+    with pytest.raises(ConfigurationError):
+        GilbertElliott(**kwargs)
+
+
+def test_chaos_overlays_require_fault_model():
+    sim, _, _ = make_pair(None)
+    with pytest.raises(SimulationError):
+        sim.network.set_loss_override(0.5)
+    with pytest.raises(SimulationError):
+        sim.network.set_delay_factor(2.0)
+
+
+# -- fault behaviour ----------------------------------------------------------
+
+
+def test_loss_one_drops_everything():
+    sim, a, b = make_pair(FaultModel(loss=1.0))
+    for i in range(20):
+        a.send(1, i)
+    sim.run()
+    assert b.received == []
+    assert sim.network.stats.messages_lost == 20
+    # Lost messages still count as sent (the sender paid for them).
+    assert sim.network.stats.messages_sent == 20
+
+
+def test_duplicate_one_delivers_twice():
+    sim, a, b = make_pair(FaultModel(duplicate=1.0))
+    for i in range(10):
+        a.send(1, i)
+    sim.run()
+    payloads = sorted(p for (_, _, p) in b.received)
+    assert payloads == sorted(list(range(10)) * 2)
+    assert sim.network.stats.messages_duplicated == 10
+
+
+def test_reorder_breaks_channel_fifo():
+    sim, a, b = make_pair(FaultModel(reorder=0.5), seed=3)
+    for i in range(60):
+        a.send(1, i)
+    sim.run()
+    payloads = [p for (_, _, p) in b.received]
+    assert sorted(payloads) == list(range(60))  # nothing lost
+    assert payloads != list(range(60))  # but not in order
+    assert sim.network.stats.messages_reordered > 0
+
+
+def test_gilbert_elliott_losses_cluster():
+    burst = GilbertElliott(p_enter=0.05, p_exit=0.2, loss=1.0)
+    sim, a, b = make_pair(FaultModel(burst=burst), seed=1)
+    n = 1000
+    for i in range(n):
+        a.send(1, i)
+    sim.run()
+    got = {p for (_, _, p) in b.received}
+    lost = [i for i in range(n) if i not in got]
+    assert lost, "burst chain never entered its bad state"
+    assert sim.network.stats.messages_lost == len(lost)
+    # Bursty, not independent: the bad state persists ~1/p_exit sends, so
+    # runs of consecutive losses must appear.
+    longest = run = 1
+    for prev, nxt in zip(lost, lost[1:]):
+        run = run + 1 if nxt == prev + 1 else 1
+        longest = max(longest, run)
+    assert longest >= 3
+
+
+def test_fault_pattern_is_deterministic():
+    def receive(seed):
+        sim, a, b = make_pair(
+            FaultModel(loss=0.3, duplicate=0.2, reorder=0.3), seed=seed
+        )
+        for i in range(50):
+            a.send(1, i)
+        sim.run()
+        return b.received
+
+    assert receive(7) == receive(7)
+    assert receive(7) != receive(8)
+
+
+def test_chaos_seed_varies_faults_without_touching_delays():
+    def lost_set(chaos_seed):
+        sim, a, b = make_pair(
+            FaultModel(loss=0.3, chaos_seed=chaos_seed), seed=7
+        )
+        for i in range(100):
+            a.send(1, i)
+        sim.run()
+        return {p for (_, _, p) in b.received}
+
+    assert lost_set(0) != lost_set(1)
+
+
+# -- surfacing through runs ---------------------------------------------------
+
+
+def test_channel_stats_in_run_summary():
+    summary = run_mutex(
+        RunConfig(
+            algorithm="cao-singhal",
+            n_sites=9,
+            seed=0,
+            fault_model=FaultModel(loss=0.15, duplicate=0.05, reorder=0.1),
+            reliable=ReliableConfig(),
+            workload=SaturationWorkload(3),
+        )
+    ).summary
+    assert summary.unserved == 0
+    assert summary.channel_stats["messages_lost"] > 0
+    assert summary.channel_stats["retransmitted"] > 0
+    assert "channel_stats" in summary.to_dict()
+    assert "channel" in summary.describe()
+
+
+def test_clean_run_omits_channel_stats():
+    summary = run_mutex(
+        RunConfig(algorithm="cao-singhal", workload=SaturationWorkload(2))
+    ).summary
+    assert summary.channel_stats == {}
+    # Golden fingerprints hash this dict: a clean run must serialize
+    # exactly as it did before the fault layer existed.
+    assert "channel_stats" not in summary.to_dict()
+
+
+def test_fault_config_threads_into_cache_fingerprint():
+    from repro.parallel.cache import fingerprint
+
+    base = RunConfig(algorithm="cao-singhal", seed=0)
+    faulty = RunConfig(
+        algorithm="cao-singhal",
+        seed=0,
+        fault_model=FaultModel(loss=0.2),
+        reliable=ReliableConfig(),
+    )
+    other_loss = RunConfig(
+        algorithm="cao-singhal",
+        seed=0,
+        fault_model=FaultModel(loss=0.3),
+        reliable=ReliableConfig(),
+    )
+    prints = {fingerprint(base), fingerprint(faulty), fingerprint(other_loss)}
+    assert None not in prints
+    assert len(prints) == 3

@@ -136,6 +136,20 @@ def test_in_flight_message_dropped_when_destination_crashes():
     assert b.received == []
 
 
+def test_in_flight_message_from_crashed_source_never_arrives():
+    """Fail-stop contract: a crashed site's in-flight messages are dropped
+    at delivery time — they must not arrive late, not even after the
+    sender recovers."""
+    sim, a, b = make_pair(ConstantDelay(1.0))
+    a.send(1, "pre-crash")
+    sim.schedule(0.5, lambda: sim.crash(0))
+    sim.schedule(0.7, lambda: sim.recover(0))
+    sim.schedule(1.5, lambda: a.send(1, "post-recovery"))
+    sim.run()
+    assert [p for (_, _, p) in b.received] == ["post-recovery"]
+    assert sim.network.stats.messages_dropped == 1
+
+
 def test_severed_link_drops_both_directions():
     sim, a, b = make_pair(ConstantDelay(1.0))
     sim.network.sever(0, 1)

@@ -1,0 +1,191 @@
+"""Tests for the reliable-channel layer: exactly-once FIFO delivery over
+a lossy/duplicating/reordering network, ack piggybacking, bounded-retry
+give-up, and the fail-stop epoch contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.network import ConstantDelay, FaultModel, UniformDelay
+from repro.sim.node import Node
+from repro.sim.simulator import Simulator
+from repro.sim.transport import ReliableConfig
+
+
+class Sink(Node):
+    def __init__(self, site_id):
+        super().__init__(site_id)
+        self.received = []
+
+    def on_message(self, src, message):
+        self.received.append(message)
+
+
+class Echo(Sink):
+    """Replies to every ``ping`` — generates the reverse data traffic
+    that cumulative acks piggyback on."""
+
+    def on_message(self, src, message):
+        super().on_message(src, message)
+        if isinstance(message, str) and message.startswith("ping"):
+            self.send(src, "pong" + message[4:])
+
+
+def make_pair(fault_model=None, config=None, seed=0, delay=None, node_cls=Sink):
+    sim = Simulator(
+        seed=seed,
+        delay_model=delay or ConstantDelay(1.0),
+        fault_model=fault_model,
+    )
+    transport = sim.install_transport(config)
+    a, b = node_cls(0), node_cls(1)
+    sim.add_node(a)
+    sim.add_node(b)
+    sim.start()
+    return sim, transport, a, b
+
+
+# -- configuration ------------------------------------------------------------
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(rto=0.0),
+    dict(backoff=0.5),
+    dict(rto=5.0, rto_max=1.0),
+    dict(max_retries=0),
+    dict(ack_delay=-1.0),
+])
+def test_reliable_config_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        ReliableConfig(**kwargs)
+
+
+def test_install_transport_guards():
+    sim = Simulator(seed=0, delay_model=ConstantDelay(1.0))
+    sim.install_transport()
+    with pytest.raises(SimulationError):
+        sim.install_transport()
+    sim2 = Simulator(seed=0, delay_model=ConstantDelay(1.0))
+    sim2.start()
+    with pytest.raises(SimulationError):
+        sim2.install_transport()
+
+
+# -- exactly-once FIFO over a hostile network ---------------------------------
+
+
+@pytest.mark.parametrize("fault_model", [
+    FaultModel(loss=0.3),
+    FaultModel(duplicate=0.5),
+    FaultModel(reorder=0.6),
+    FaultModel(loss=0.25, duplicate=0.25, reorder=0.5),
+])
+def test_exactly_once_fifo_under_faults(fault_model):
+    sim, transport, a, b = make_pair(
+        fault_model, seed=11, delay=UniformDelay(0.5, 1.5)
+    )
+    n = 40
+    for i in range(n):
+        a.send(1, i)
+    sim.run()
+    # Whatever the network did, the protocol observed a perfect channel.
+    assert b.received == list(range(n))
+    assert transport.stats.delivered == n
+
+
+def test_loss_triggers_retransmission_and_dedup_absorbs_duplicates():
+    sim, transport, a, b = make_pair(FaultModel(loss=0.4, duplicate=0.4), seed=2)
+    for i in range(30):
+        a.send(1, i)
+    sim.run()
+    assert b.received == list(range(30))
+    assert transport.stats.retransmitted > 0
+    assert transport.stats.deduped > 0
+
+
+def test_reorder_fills_buffer_then_drains_in_order():
+    sim, transport, a, b = make_pair(FaultModel(reorder=0.7), seed=4)
+    for i in range(30):
+        a.send(1, i)
+    sim.run()
+    assert b.received == list(range(30))
+    assert transport.stats.buffered > 0
+
+
+def test_clean_network_never_retransmits():
+    sim, transport, a, b = make_pair()
+    for i in range(10):
+        a.send(1, i)
+    sim.run()
+    assert b.received == list(range(10))
+    assert transport.stats.retransmitted == 0
+    assert transport.stats.deduped == 0
+
+
+# -- ack costing --------------------------------------------------------------
+
+
+def test_acks_piggyback_on_reverse_data():
+    sim, transport, a, b = make_pair(node_cls=Echo)
+    for i in range(10):
+        a.send(1, f"ping{i}")
+    sim.run()
+    assert [m for m in a.received] == [f"pong{i}" for i in range(10)]
+    # Replies leave within the delayed-ack window, so most acks ride them
+    # for free (the paper's Section 5 costing rule).
+    assert transport.stats.acks_piggybacked > 0
+
+
+def test_one_way_traffic_pays_pure_acks():
+    sim, transport, a, b = make_pair()
+    a.send(1, "only")
+    sim.run()
+    assert transport.stats.acks_sent > 0
+    assert transport.stats.acks_piggybacked == 0
+    assert sim.network.stats.by_type.get("ack", 0) == transport.stats.acks_sent
+
+
+# -- bounded retries and epoch recovery ---------------------------------------
+
+
+def test_give_up_after_max_retries_then_heal_recovers():
+    config = ReliableConfig(rto=0.5, backoff=1.0, rto_max=0.5, max_retries=2)
+    sim, transport, a, b = make_pair(config=config)
+    given_up = []
+    transport.on_give_up = lambda src, dst: given_up.append((src, dst))
+
+    sim.network.sever(0, 1)
+    a.send(1, "into-the-void")
+    sim.run()
+    assert given_up == [(0, 1)]
+    assert transport.stats.give_ups == 1
+    assert transport.unacked_counts() == {}  # the channel reset
+    assert b.received == []
+
+    # Post-heal traffic starts a new epoch and flows normally; the
+    # abandoned message is lost for good, never delivered late.
+    sim.network.heal(0, 1)
+    a.send(1, "after-heal")
+    sim.run()
+    assert b.received == ["after-heal"]
+
+
+def test_crash_reset_never_resurrects_in_flight_traffic():
+    sim, transport, a, b = make_pair()
+    a.send(1, "pre-crash")
+    sim.schedule(0.5, lambda: sim.crash(0))
+    sim.schedule(2.0, lambda: sim.recover(0))
+    sim.schedule(3.0, lambda: a.send(1, "post-recovery"))
+    sim.run()
+    # Fail-stop: the pre-crash segment was dropped in flight and the
+    # sender's channel state died with it — no retransmission brings it
+    # back after recovery.
+    assert b.received == ["post-recovery"]
+
+
+def test_non_segment_frames_pass_through():
+    sim, transport, a, b = make_pair()
+    sim.network.send(0, 1, "raw-frame", "raw")
+    sim.run()
+    assert b.received == ["raw-frame"]
