@@ -79,6 +79,18 @@ def test_bench_sim_kernel_events_per_sec(benchmark):
     best_eps = max(events / elapsed for events, elapsed in samples)
     speedup = best_eps / BASELINE_EVENTS_PER_SEC
 
+    # Message complexity c (Section 5): messages/CS = c*K with 3 <= c <= 6.
+    # Deterministic for the pinned seed; archived so the regression gate
+    # can hold the paper's bound across commits.
+    summary = result.summary
+    assert summary.mean_quorum_size is not None
+    complexity_c = summary.messages_per_cs / summary.mean_quorum_size
+    assert 3.0 <= complexity_c <= 6.0, (
+        f"message complexity c={complexity_c:.3f} outside the paper's "
+        f"[3, 6] claim (messages/CS={summary.messages_per_cs:.2f}, "
+        f"K={summary.mean_quorum_size:.2f})"
+    )
+
     payload = {
         "benchmark": "sim_kernel",
         "scenario": {
@@ -91,6 +103,7 @@ def test_bench_sim_kernel_events_per_sec(benchmark):
             "workload": "saturation(20 req/site)",
         },
         "events_processed": EXPECTED_EVENTS,
+        "message_complexity_c": round(complexity_c, 3),
         "reps": REPS,
         "baseline_events_per_sec": BASELINE_EVENTS_PER_SEC,
         "events_per_sec": round(best_eps),

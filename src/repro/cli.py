@@ -1,11 +1,13 @@
 """Command-line interface.
 
-Two subcommands::
+Four subcommands::
 
     repro run  --algorithm cao-singhal --sites 25 --quorum grid ...
     repro run  --trials 30 --workers 4 --cache   # seed fan-out, cached
     repro experiment E1 [--workers 4] [options]  # regenerate a table/figure
     repro experiment all                         # everything, EXPERIMENTS.md style
+    repro trace -a cao-singhal --out run.jsonl   # monitored run, JSONL trace
+    repro regress --baseline benchmarks/results --current fresh/  # bench gate
 
 (Invoke as ``python -m repro.cli`` when the console script is not on
 PATH.)
@@ -36,7 +38,7 @@ from repro.experiments import (
 )
 from repro.experiments.report import ExperimentReport
 from repro.experiments.replicate import Replication
-from repro.experiments.runner import RunConfig
+from repro.experiments.runner import RunConfig, run_mutex
 from repro.metrics.tables import render_table
 from repro.mutex.registry import algorithm_names
 from repro.parallel import RunCache, TrialPool, WORKERS_ENV
@@ -84,16 +86,8 @@ def _delay_model(spec: str):
     raise argparse.ArgumentTypeError(f"unknown delay model {spec!r}")
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """The CLI argument parser (exposed for tests)."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Delay-optimal quorum-based mutual exclusion "
-        "(Cao & Singhal, ICDCS 1998): simulator and evaluation harness",
-    )
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    run_p = sub.add_parser("run", help="run one simulation and print its summary")
+def _add_scenario_args(run_p: argparse.ArgumentParser) -> None:
+    """Scenario flags shared by the ``run`` and ``trace`` subcommands."""
     run_p.add_argument(
         "--algorithm", "-a", default="cao-singhal", choices=algorithm_names()
     )
@@ -120,6 +114,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--horizon", type=float, default=500.0,
         help="arrival horizon for --poisson",
     )
+
+
+def _add_chaos_args(run_p: argparse.ArgumentParser) -> None:
+    """Fault/chaos flags shared by the ``run`` and ``trace`` subcommands."""
+    _add_fault_args(run_p)
+    run_p.add_argument(
+        "--fault-plan", default=None, choices=sorted(CHAOS_PRESETS),
+        help="seeded chaos schedule to overlay on the run",
+    )
+    run_p.add_argument(
+        "--reliable", action=argparse.BooleanOptionalAction, default=None,
+        help="reliable-channel layer (default: on iff any fault flag is set)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Delay-optimal quorum-based mutual exclusion "
+        "(Cao & Singhal, ICDCS 1998): simulator and evaluation harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one simulation and print its summary")
+    _add_scenario_args(run_p)
     run_p.add_argument(
         "--trials", type=int, default=1, metavar="K",
         help="replicate over seeds seed..seed+K-1 through the trial engine",
@@ -138,14 +158,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="cache directory (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro/trials)",
     )
-    _add_fault_args(run_p)
+    _add_chaos_args(run_p)
     run_p.add_argument(
-        "--fault-plan", default=None, choices=sorted(CHAOS_PRESETS),
-        help="seeded chaos schedule to overlay on the run",
+        "--profile", action="store_true",
+        help="time every event callback and print the per-label "
+        "breakdown (single trial only)",
     )
-    run_p.add_argument(
-        "--reliable", action=argparse.BooleanOptionalAction, default=None,
-        help="reliable-channel layer (default: on iff any fault flag is set)",
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one simulation under the protocol monitor and export "
+        "its trace as JSONL",
+    )
+    _add_scenario_args(trace_p)
+    _add_chaos_args(trace_p)
+    trace_p.add_argument(
+        "--out", "-o", default="trace.jsonl", metavar="PATH",
+        help="JSONL output path (schema repro-trace/1)",
+    )
+    trace_p.add_argument(
+        "--trace-limit", type=int, default=None, metavar="N",
+        help="cap the number of records kept in memory (default unbounded)",
+    )
+
+    regress_p = sub.add_parser(
+        "regress",
+        help="diff fresh BENCH_*.json results against committed baselines "
+        "and fail on regressions",
+    )
+    regress_p.add_argument(
+        "--baseline", required=True, metavar="DIR",
+        help="directory holding the baseline BENCH_*.json files",
+    )
+    regress_p.add_argument(
+        "--current", required=True, metavar="DIR",
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    regress_p.add_argument(
+        "--threshold-pct", type=float, default=None, metavar="PCT",
+        help="allowed drift for thresholded metrics (default 25)",
+    )
+    regress_p.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the markdown report to PATH",
     )
 
     exp_p = sub.add_parser(
@@ -217,7 +272,8 @@ def _fault_setup(args: argparse.Namespace):
     return fault_model, (ReliableConfig() if reliable else None), chaos
 
 
-def cmd_run(args: argparse.Namespace) -> int:
+def _scenario_config(args: argparse.Namespace) -> RunConfig:
+    """Build the :class:`RunConfig` shared by ``run`` and ``trace``."""
     if args.saturate is not None:
         workload = SaturationWorkload(args.saturate)
     elif args.poisson is not None:
@@ -225,7 +281,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         workload = SaturationWorkload(20)
     fault_model, reliable, chaos = _fault_setup(args)
-    config = RunConfig(
+    return RunConfig(
         algorithm=args.algorithm,
         n_sites=args.sites,
         quorum=args.quorum,
@@ -237,8 +293,21 @@ def cmd_run(args: argparse.Namespace) -> int:
         reliable=reliable,
         chaos=chaos,
     )
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _scenario_config(args)
     if args.trials < 1:
         raise SystemExit("--trials must be >= 1")
+    if args.profile:
+        if args.trials != 1:
+            raise SystemExit("--profile works on a single trial")
+        from repro.obs.profile import profiled_run
+
+        result, profiler = profiled_run(config)
+        print(result.summary.describe())
+        print(profiler.report())
+        return 0
     cache = RunCache(args.cache_dir) if args.cache else None
     seeds = range(args.seed, args.seed + args.trials)
     summaries = TrialPool(workers=args.workers, cache=cache).run_seeds(
@@ -268,6 +337,78 @@ def cmd_run(args: argparse.Namespace) -> int:
     if cache is not None:
         print(f"  {cache.stats}")
     return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run under the protocol monitor (collect mode) and export JSONL.
+
+    Exit status 0 for a clean run; 1 when the monitor collected
+    violations or the run itself failed verification — the trace is
+    exported either way, so CI can upload exactly what went wrong.
+    """
+    from repro.errors import ReproError
+    from repro.obs.export import export_jsonl
+    from repro.obs.monitor import MonitorTrace, ProtocolMonitor
+
+    config = _scenario_config(args)
+    monitor = ProtocolMonitor(strict=False)
+    if args.trace_limit is not None:
+        monitor.trace = MonitorTrace(monitor, capacity=args.trace_limit)
+    config.trace = monitor.trace
+    run_error: Optional[ReproError] = None
+    mean_delay_t = None
+    try:
+        result = run_mutex(config)
+        mean_delay_t = result.sim.network.mean_delay
+        print(result.summary.describe())
+    except ReproError as exc:
+        run_error = exc
+        print(f"run failed: {exc}", file=sys.stderr)
+    report = monitor.report(mean_delay_t=mean_delay_t)
+    meta = {
+        "algorithm": config.algorithm,
+        "n_sites": config.n_sites,
+        "quorum": config.resolved_quorum(),
+        "seed": config.seed,
+        "monitor": report,
+    }
+    count = export_jsonl(monitor.trace, args.out, meta=meta)
+    print(f"exported {count} trace records -> {args.out}")
+    if report["handoff_samples"]:
+        mean_t = report.get("handoff_mean_in_t")
+        in_t = f" ({mean_t:.2f} T)" if mean_t is not None else ""
+        print(
+            f"handoff sync delay: {report['handoff_mean']:.3f}{in_t} over "
+            f"{report['handoff_samples']} transfer-gated entries"
+        )
+    if monitor.violations:
+        print(f"{len(monitor.violations)} invariant violation(s):")
+        for violation in monitor.violations[:10]:
+            print(f"  {violation}")
+        return 1
+    print("monitor: all invariants held")
+    return 1 if run_error is not None else 0
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    """Gate on benchmark regressions; markdown report to stdout/--report."""
+    from repro.obs.regress import DEFAULT_THRESHOLD_PCT, check
+
+    threshold = (
+        args.threshold_pct
+        if args.threshold_pct is not None
+        else DEFAULT_THRESHOLD_PCT
+    )
+    report = check(args.baseline, args.current, threshold_pct=threshold)
+    markdown = report.to_markdown()
+    print(markdown)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(markdown + "\n")
+    if not report.results:
+        print("no BENCH_*.json found on either side", file=sys.stderr)
+        return 2
+    return 0 if report.ok else 1
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -316,6 +457,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "trace":
+        return cmd_trace(args)
+    if args.command == "regress":
+        return cmd_regress(args)
     if args.command == "experiment":
         return cmd_experiment(args)
     return 2  # pragma: no cover - argparse enforces the choices

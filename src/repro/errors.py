@@ -38,6 +38,37 @@ class ProtocolError(ReproError):
     """
 
 
+class InvariantViolation(ProtocolError):
+    """The runtime protocol monitor caught a paper invariant being broken.
+
+    Raised (or collected, in non-strict mode) by
+    :class:`repro.obs.monitor.ProtocolMonitor` the moment a trace record
+    contradicts one of the paper's invariants — mutual exclusion, per-
+    arbiter grant uniqueness, transfer honouring, or post-recovery quorum
+    consistency. Structured: ``invariant`` is a stable slug, ``time`` and
+    ``site`` locate the offence, and ``window`` carries the trailing trace
+    records so a failure is diagnosable without re-running.
+    """
+
+    def __init__(
+        self,
+        invariant: str,
+        time: float,
+        site: int,
+        description: str,
+        window: tuple = (),
+    ) -> None:
+        super().__init__(
+            f"[{invariant}] t={time:.4f} site={site}: {description}"
+        )
+        self.invariant = invariant
+        self.time = time
+        self.site = site
+        self.description = description
+        #: The trailing trace records leading up to the violation.
+        self.window = window
+
+
 class MutualExclusionViolation(ProtocolError):
     """Two sites were observed inside the critical section simultaneously.
 

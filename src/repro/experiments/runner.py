@@ -11,7 +11,7 @@ the paper's theorems raises instead of returning numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional, Union
 
 from repro.core.site import CaoSinghalSite
 from repro.errors import ConfigurationError
@@ -22,6 +22,7 @@ from repro.mutex.registry import get_algorithm_spec
 from repro.quorums.registry import make_quorum_system
 from repro.sim.network import ConstantDelay, DelayModel, FaultModel, UniformDelay
 from repro.sim.simulator import Simulator
+from repro.sim.trace import Trace
 from repro.sim.transport import ReliableConfig
 from repro.verify.checker import check_quiescent
 from repro.verify.invariants import (
@@ -46,7 +47,11 @@ class RunConfig:
     #: Hard safety caps so a protocol bug cannot hang the harness.
     max_time: float = 1_000_000.0
     max_events: int = 20_000_000
-    trace: bool = False
+    #: ``False`` (no trace), ``True`` (in-memory trace), or a ready
+    #: :class:`~repro.sim.trace.Trace` instance — e.g. a
+    #: :class:`~repro.obs.monitor.MonitorTrace`, which checks protocol
+    #: invariants online as the run records.
+    trace: Union[bool, "Trace"] = False
     verify: bool = True
     #: Adversarial-transport fault injection (loss/burst/dup/reorder);
     #: ``None`` keeps the network reliable and the kernel byte-identical.
@@ -154,11 +159,23 @@ def _give_up_hook(sites: List[MutexSite]):
     return give_up
 
 
-def run_mutex(config: RunConfig) -> RunResult:
-    """Run one configured simulation to completion and verify it."""
+def run_mutex(
+    config: RunConfig,
+    loop: Optional[Callable[..., None]] = None,
+) -> RunResult:
+    """Run one configured simulation to completion and verify it.
+
+    ``loop`` optionally replaces the kernel main loop: it is called as
+    ``loop(sim, until=..., max_events=...)`` and must drain the run. The
+    observability layer uses this to drive the run through the
+    instrumented (timing) loop; the default is the plain hot path.
+    """
     sim, sites, collector, quorum_system, _ = build_run(config)
     sim.start()
-    sim.run(until=config.max_time, max_events=config.max_events)
+    if loop is None:
+        sim.run(until=config.max_time, max_events=config.max_events)
+    else:
+        loop(sim, until=config.max_time, max_events=config.max_events)
 
     duration = sim.last_event_time
     if config.verify:

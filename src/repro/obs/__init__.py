@@ -1,0 +1,46 @@
+"""Observability layer: runtime invariant monitoring, trace export,
+profiling snapshots, and the benchmark-regression gate.
+
+Everything here is strictly additive over the kernel's existing trace
+and counter plumbing: a run without a monitor or profiler attached
+executes the exact PR-2 hot path (the golden-fingerprint tests pin
+this). See ``docs/API.md`` for the invariant table, the JSONL trace
+schema, and the regression thresholds CI enforces.
+"""
+
+from repro.obs.export import (
+    SCHEMA,
+    TraceFile,
+    export_jsonl,
+    import_jsonl,
+)
+from repro.obs.monitor import MonitorTrace, ProtocolMonitor
+from repro.obs.profile import LoopProfiler, profiled_run, snapshot
+from repro.obs.regress import (
+    DEFAULT_THRESHOLD_PCT,
+    MetricSpec,
+    RegressionReport,
+    check,
+    compare,
+    load_results,
+)
+from repro.errors import InvariantViolation
+
+__all__ = [
+    "SCHEMA",
+    "TraceFile",
+    "export_jsonl",
+    "import_jsonl",
+    "MonitorTrace",
+    "ProtocolMonitor",
+    "InvariantViolation",
+    "LoopProfiler",
+    "profiled_run",
+    "snapshot",
+    "DEFAULT_THRESHOLD_PCT",
+    "MetricSpec",
+    "RegressionReport",
+    "check",
+    "compare",
+    "load_results",
+]

@@ -1,0 +1,214 @@
+"""Trace export/import: stable-schema JSONL for ``TraceRecord`` streams.
+
+A trace that caught (or just preceded) an invariant violation is the
+single most useful debugging artifact a CI run can leave behind — but
+only if it survives the process. This module serializes a trace to JSON
+Lines with full round-trip fidelity: records decode back to equal
+``TraceRecord`` objects, message payloads included, so the runtime
+monitor can :meth:`~repro.obs.monitor.ProtocolMonitor.replay` an
+imported trace exactly as it would have seen it live.
+
+Schema (``repro-trace/1``) — one JSON object per line:
+
+* Line 1, the header: ``{"schema": "repro-trace/1", "meta": {...}}``.
+  ``meta`` is free-form run context (algorithm, sites, seed, ...).
+* Every further line, one record: ``{"t": time, "k": kind, "s": site,
+  "d": detail}`` (``d`` omitted when the detail is ``None``).
+
+Detail encoding is by tagged objects, recursively:
+
+* ``{"$p": [seq, site]}`` — a :class:`~repro.common.Priority`;
+* ``{"$m": "ClassName", "f": {...}}`` — a protocol message dataclass,
+  found by class name in a registry built from the known message
+  modules (``Bundle`` included: its ``parts`` tuple round-trips);
+* JSON arrays decode to tuples (messages never carry lists);
+* ``{"$r": "repr"}`` — anything unknown, wrapped as an :class:`Opaque`
+  placeholder that preserves equality on the repr text.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.common import Priority, slotted_dataclass
+from repro.errors import ConfigurationError
+from repro.sim.trace import TraceRecord
+
+SCHEMA = "repro-trace/1"
+
+#: Modules whose dataclasses with a ``type_name`` are wire messages.
+_MESSAGE_MODULES = (
+    "repro.common",
+    "repro.core.messages",
+    "repro.mutex.maekawa",
+    "repro.mutex.ricart_agrawala",
+    "repro.mutex.suzuki_kasami",
+    "repro.mutex.raymond",
+    "repro.mutex.lamport",
+    "repro.mutex.centralized",
+    "repro.mutex.singhal_heuristic",
+    "repro.ft.detector",
+    "repro.replication.messages",
+)
+
+_registry: Optional[Dict[str, type]] = None
+
+
+@slotted_dataclass(frozen=True)
+class Opaque:
+    """Placeholder for a detail value the schema cannot reconstruct."""
+
+    text: str
+
+
+@slotted_dataclass(frozen=True)
+class TraceFile:
+    """An imported trace: header metadata plus the decoded records."""
+
+    schema: str
+    meta: Dict[str, Any]
+    records: List[TraceRecord]
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def _message_registry() -> Dict[str, type]:
+    """Class-name -> class for every known wire-message dataclass.
+
+    Built lazily so importing :mod:`repro.obs` does not pull in every
+    algorithm module. Class names are unique across the codebase (the
+    per-algorithm prefixes — ``Mk*``, ``RA*`` — exist for this reason);
+    a collision would corrupt decoding, so it is a hard error.
+    """
+    global _registry
+    if _registry is not None:
+        return _registry
+    registry: Dict[str, type] = {}
+    for module_name in _MESSAGE_MODULES:
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError:  # pragma: no cover - optional algorithm module
+            continue
+        for obj in vars(module).values():
+            if (
+                isinstance(obj, type)
+                and dataclasses.is_dataclass(obj)
+                and hasattr(obj, "type_name")
+            ):
+                existing = registry.get(obj.__name__)
+                if existing is not None and existing is not obj:
+                    raise ConfigurationError(
+                        f"message class name collision: {obj.__name__} in "
+                        f"{existing.__module__} and {obj.__module__}"
+                    )
+                registry[obj.__name__] = obj
+    _registry = registry
+    return registry
+
+
+def _encode_detail(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, Priority):
+        return {"$p": [value.seq, value.site]}
+    if isinstance(value, Opaque):
+        return {"$r": value.text}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            "$m": type(value).__name__,
+            "f": {
+                field.name: _encode_detail(getattr(value, field.name))
+                for field in dataclasses.fields(value)
+            },
+        }
+    if isinstance(value, (list, tuple)):
+        return [_encode_detail(item) for item in value]
+    return {"$r": repr(value)}
+
+
+def _decode_detail(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_decode_detail(item) for item in value)
+    if not isinstance(value, dict):
+        return value
+    if "$p" in value:
+        seq, site = value["$p"]
+        return Priority(seq, site)
+    if "$m" in value:
+        cls = _message_registry().get(value["$m"])
+        if cls is None:
+            raise ConfigurationError(
+                f"trace names unknown message class {value['$m']!r}"
+            )
+        fields = {
+            name: _decode_detail(item) for name, item in value["f"].items()
+        }
+        return cls(**fields)
+    if "$r" in value:
+        return Opaque(value["$r"])
+    raise ConfigurationError(f"unrecognized detail encoding: {value!r}")
+
+
+def encode_record(rec: TraceRecord) -> str:
+    """One record as its JSONL line (no trailing newline)."""
+    row: Dict[str, Any] = {"t": rec.time, "k": rec.kind, "s": rec.site}
+    if rec.detail is not None:
+        row["d"] = _encode_detail(rec.detail)
+    return json.dumps(row, separators=(",", ":"))
+
+
+def decode_record(line: str) -> TraceRecord:
+    """Inverse of :func:`encode_record`."""
+    row = json.loads(line)
+    return TraceRecord(
+        time=row["t"],
+        kind=row["k"],
+        site=row["s"],
+        detail=_decode_detail(row["d"]) if "d" in row else None,
+    )
+
+
+def export_jsonl(
+    records: Iterable[TraceRecord],
+    path: str,
+    meta: Optional[Dict[str, Any]] = None,
+) -> int:
+    """Write a header plus one line per record; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        header: Dict[str, Any] = {"schema": SCHEMA}
+        if meta:
+            header["meta"] = meta
+        fh.write(json.dumps(header, separators=(",", ":")) + "\n")
+        for rec in records:
+            fh.write(encode_record(rec) + "\n")
+            count += 1
+    return count
+
+
+def import_jsonl(path: str) -> TraceFile:
+    """Read a JSONL trace back into decoded records (strict on schema)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header_line = fh.readline()
+        if not header_line.strip():
+            raise ConfigurationError(f"{path}: empty trace file")
+        header = json.loads(header_line)
+        schema = header.get("schema")
+        if schema != SCHEMA:
+            raise ConfigurationError(
+                f"{path}: unsupported trace schema {schema!r} "
+                f"(expected {SCHEMA!r})"
+            )
+        records = [
+            decode_record(line) for line in fh if line.strip()
+        ]
+    return TraceFile(
+        schema=schema, meta=header.get("meta", {}), records=records
+    )

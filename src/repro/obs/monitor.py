@@ -1,0 +1,442 @@
+"""Runtime protocol monitor: online checking of the paper's invariants.
+
+The verification layer (:mod:`repro.verify`) checks a run *after* it
+finishes, from the metrics records. This module checks it *while it
+happens*, from the trace stream: a :class:`ProtocolMonitor` mirrors the
+protocol state it can deduce from delivery and lifecycle records and
+raises a structured :class:`~repro.errors.InvariantViolation` at the
+first record that contradicts an invariant — with the trailing trace
+window attached, so the failure is diagnosable without a re-run.
+
+Invariants checked (slugs are stable; see ``docs/API.md``):
+
+``mutual-exclusion``
+    No two sites are inside the critical section at once (Theorem 1).
+    Applies to every algorithm, since it only reads ``cs_enter`` /
+    ``cs_exit`` / ``crash`` records.
+``arbiter-double-grant``
+    An arbiter's permission is held by at most one live request at a
+    time: a ``reply`` delivery while the monitor still sees another
+    request holding that arbiter is a double grant (at most one
+    outstanding forwarded reply per arbiter falls out of this, because a
+    forwarded reply moves the permission at the forwarder's exit).
+``transfer-not-honoured``
+    A holder that accepted a ``transfer(k, j)`` for its current tenure
+    must forward the reply at exit and say so in its ``release`` —
+    releasing with ``max`` instead silently degrades the handoff from
+    the paper's ``T`` to Maekawa's ``2T`` (Section 5.1).
+``quorum-consistency``
+    After an arbiter crashes and recovers, it must not grant while its
+    pre-crash permission is still held by a live request it has not
+    reconciled with (Section 6 / :mod:`repro.core.faults` probes).
+
+The monitor consumes only the record kinds the simulator already emits
+(``deliver``, ``deliver-local``, ``request``, ``cs_enter``, ``cs_exit``,
+``crash``, ``recover``): attaching it never changes the trace stream,
+which is what keeps the PR-2 golden kernel fingerprints intact.
+
+It assumes the trace shows exactly-once FIFO delivery — true for the
+fault-free network and for any faulty run under the reliable-channel
+layer (``--reliable``), where ``deliver`` records are emitted after the
+transport's dedup/reorder buffer. Attaching it to a *raw* lossy network
+will produce false alarms, by design: that network breaks the paper's
+channel assumptions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
+
+from repro.common import Priority
+from repro.core.messages import (
+    FailureNotice,
+    Probe,
+    ProbeAck,
+    Release,
+    Reply,
+    Request,
+    Transfer,
+    Yield,
+)
+from repro.errors import InvariantViolation
+from repro.sim.trace import Trace, TraceRecord
+
+SiteId = int
+
+#: How many trailing records a violation carries as context.
+WINDOW_SIZE = 64
+
+_MISSING = object()
+
+
+class MonitorTrace(Trace):
+    """A :class:`~repro.sim.trace.Trace` that feeds a monitor as it records.
+
+    Hand it to a run via ``RunConfig(trace=monitor.trace)`` (the simulator
+    accepts a ready trace instance): every record is stored as usual *and*
+    pushed through :meth:`ProtocolMonitor.observe`, so in strict mode the
+    run dies at the exact event that broke an invariant.
+    """
+
+    __slots__ = ("monitor",)
+
+    def __init__(
+        self, monitor: "ProtocolMonitor", capacity: Optional[int] = None
+    ) -> None:
+        super().__init__(enabled=True, capacity=capacity)
+        self.monitor = monitor
+
+    def record(
+        self, time: float, kind: str, site: int, detail: Any = None
+    ) -> None:
+        rec = TraceRecord(time=time, kind=kind, site=site, detail=detail)
+        if self._capacity is not None and len(self._records) >= self._capacity:
+            self.dropped += 1
+        else:
+            self._records.append(rec)
+        self.monitor.observe(rec)
+
+
+class ProtocolMonitor:
+    """Online invariant checker over a :class:`~repro.sim.trace.Trace` stream.
+
+    Parameters
+    ----------
+    strict:
+        ``True`` (default) raises the :class:`InvariantViolation` at the
+        offending record, killing the run right there; ``False`` collects
+        violations in :attr:`violations` and lets the run continue (what
+        ``repro.cli trace`` uses, so a bad run still exports its trace).
+    """
+
+    def __init__(self, strict: bool = True) -> None:
+        self.strict = strict
+        self.trace = MonitorTrace(self)
+        #: Violations found so far (also raised one by one when strict).
+        self.violations: List[InvariantViolation] = []
+        #: Records observed so far.
+        self.records_seen = 0
+        #: Handoff-path synchronization delays: forwarded-reply flight
+        #: times, forwarder's ``cs_exit`` to beneficiary's ``cs_enter``,
+        #: sampled only when the forwarded reply gated the entry. The
+        #: paper's headline claim is that these take one hop (``T``).
+        self.handoff_delays: List[float] = []
+        self._window: Deque[TraceRecord] = deque(maxlen=WINDOW_SIZE)
+        # -- mirrored protocol state --------------------------------------
+        # Sites currently inside the CS (any algorithm).
+        self._in_cs: Set[SiteId] = set()
+        # site -> its current request priority (cao-singhal only).
+        self._active: Dict[SiteId, Priority] = {}
+        # Requests that finished (exited, crashed, or superseded).
+        self._finished: Set[Priority] = set()
+        # arbiter -> request its permission is granted to (None = free).
+        self._holder: Dict[SiteId, Optional[Priority]] = {}
+        self._holder_epoch: Dict[SiteId, int] = {}
+        # request -> {arbiter: grant epoch} permissions it holds.
+        self._held: Dict[Priority, Dict[SiteId, int]] = {}
+        # holder request -> {arbiter: (beneficiary, holder_epoch)} accepted
+        # transfer instructions, latest per arbiter (the TranStack rule).
+        self._transfers: Dict[Priority, Dict[SiteId, Tuple[Priority, int]]] = {}
+        # (releaser, arbiter) -> beneficiary its release must name (or
+        # None), recorded at the releaser's cs_exit.
+        self._release_expect: Dict[Tuple[Priority, SiteId], Optional[Priority]] = {}
+        # (arbiter, beneficiary, epoch) -> forwarder's exit time, for the
+        # handoff-delay measurement.
+        self._forward_out: Dict[Tuple[SiteId, Priority, int], float] = {}
+        # site -> (reply delivery time, forward exit time): a forwarded
+        # reply just landed; if the site enters at that same instant the
+        # handoff gated the entry and the flight time is a T-path sample.
+        self._entry_pending: Dict[SiteId, Tuple[float, float]] = {}
+        # Arbiters that crashed (state lost) and have not granted since:
+        # a conflicting grant from them is a recovery bug, not a plain
+        # double grant.
+        self._crash_suspect: Set[SiteId] = set()
+
+    # -- feeding ----------------------------------------------------------
+
+    def observe(self, rec: TraceRecord) -> None:
+        """Consume one trace record, checking invariants as state evolves."""
+        self._window.append(rec)
+        self.records_seen += 1
+        kind = rec.kind
+        if kind == "deliver" or kind == "deliver-local":
+            detail = rec.detail
+            for part in getattr(detail, "parts", (detail,)):
+                self._on_message(rec, part)
+        elif kind == "cs_enter":
+            self._on_enter(rec)
+        elif kind == "cs_exit":
+            self._on_exit(rec)
+        elif kind == "crash":
+            self._on_crash(rec)
+        # "request" and "recover" need no bookkeeping: requests are
+        # learned from their deliveries, recovery from later probe traffic.
+
+    def replay(self, records: Any) -> List[InvariantViolation]:
+        """Run the monitor over an iterable of records (e.g. an imported
+        JSONL trace) and return the violations found."""
+        for rec in records:
+            self.observe(rec)
+        return self.violations
+
+    # -- reporting --------------------------------------------------------
+
+    def assert_clean(self) -> None:
+        """Raise the first collected violation, if any (collect mode)."""
+        if self.violations:
+            raise self.violations[0]
+
+    def handoff_mean(self) -> Optional[float]:
+        """Mean handoff-path synchronization delay, or ``None`` if the run
+        had no transfer-gated entries."""
+        if not self.handoff_delays:
+            return None
+        return sum(self.handoff_delays) / len(self.handoff_delays)
+
+    def report(self, mean_delay_t: Optional[float] = None) -> Dict[str, Any]:
+        """Summary dict for logs and the ``repro.cli trace`` output.
+
+        ``mean_delay_t`` (the network's mean one-way latency ``T``)
+        normalizes the handoff delay into hop units when provided.
+        """
+        mean = self.handoff_mean()
+        out: Dict[str, Any] = {
+            "records": self.records_seen,
+            "violations": [
+                {
+                    "invariant": v.invariant,
+                    "time": v.time,
+                    "site": v.site,
+                    "description": v.description,
+                }
+                for v in self.violations
+            ],
+            "handoff_samples": len(self.handoff_delays),
+            "handoff_mean": mean,
+        }
+        if mean is not None and mean_delay_t:
+            out["handoff_mean_in_t"] = mean / mean_delay_t
+        return out
+
+    # -- internals: lifecycle records -------------------------------------
+
+    def _violate(self, invariant: str, rec: TraceRecord, description: str) -> None:
+        violation = InvariantViolation(
+            invariant=invariant,
+            time=rec.time,
+            site=rec.site,
+            description=description,
+            window=tuple(self._window),
+        )
+        self.violations.append(violation)
+        if self.strict:
+            raise violation
+
+    def _on_enter(self, rec: TraceRecord) -> None:
+        site = rec.site
+        others = self._in_cs - {site}
+        if others:
+            self._violate(
+                "mutual-exclusion",
+                rec,
+                f"site {site} entered the CS while site(s) "
+                f"{sorted(others)} were inside",
+            )
+        self._in_cs.add(site)
+        pending = self._entry_pending.pop(site, None)
+        if pending is not None and pending[0] == rec.time:
+            # The forwarded reply that just landed completed the quorum:
+            # this entry rode the handoff path, one hop after the
+            # forwarder's exit.
+            self.handoff_delays.append(rec.time - pending[1])
+
+    def _on_exit(self, rec: TraceRecord) -> None:
+        site = rec.site
+        self._in_cs.discard(site)
+        priority = self._active.get(site)
+        if priority is None:
+            return  # not a cao-singhal site (or an untracked request)
+        self._finished.add(priority)
+        transfers = self._transfers.pop(priority, {})
+        held = self._held.get(priority, {})
+        for arbiter, epoch in held.items():
+            expected = transfers.get(arbiter)
+            if expected is not None and expected[1] == epoch:
+                # A current-tenure transfer instruction stands: the site
+                # must forward this arbiter's permission now.
+                beneficiary = expected[0]
+                self._release_expect[(priority, arbiter)] = beneficiary
+                self._forward_out[(arbiter, beneficiary, epoch + 1)] = rec.time
+                self._holder[arbiter] = beneficiary
+                self._holder_epoch[arbiter] = epoch + 1
+            else:
+                self._release_expect[(priority, arbiter)] = None
+                if self._holder.get(arbiter) == priority:
+                    self._holder[arbiter] = None
+
+    def _on_crash(self, rec: TraceRecord) -> None:
+        site = rec.site
+        self._in_cs.discard(site)
+        priority = self._active.pop(site, None)
+        if priority is not None:
+            # The request dies with the site; permissions it held are
+            # logically lost (recovery reconciles the arbiters).
+            self._finished.add(priority)
+            self._transfers.pop(priority, None)
+            for arbiter in self._held.pop(priority, {}):
+                if self._holder.get(arbiter) == priority:
+                    self._holder[arbiter] = None
+        # The site's arbiter state (lock, queue, epoch) is lost: its next
+        # grant must be reconciled against any still-live pre-crash grant.
+        self._crash_suspect.add(site)
+
+    # -- internals: protocol messages -------------------------------------
+
+    def _on_message(self, rec: TraceRecord, msg: Any) -> None:
+        if isinstance(msg, Reply):
+            self._on_reply(rec, msg)
+        elif isinstance(msg, Request):
+            self._on_request(msg)
+        elif isinstance(msg, Release):
+            self._on_release(rec, msg)
+        elif isinstance(msg, Transfer):
+            self._on_transfer(msg)
+        elif isinstance(msg, Yield):
+            self._on_yield(rec, msg)
+        elif isinstance(msg, ProbeAck):
+            self._on_probe_ack(msg)
+        elif isinstance(msg, (Probe, FailureNotice)):
+            pass  # no state to mirror: answers/cleanup show up later
+        # Inquire/Fail carry no permission movement; other algorithms'
+        # messages (Mk*, RA*, tokens) are not cao-singhal protocol traffic.
+
+    def _on_request(self, msg: Request) -> None:
+        priority = msg.priority
+        site = priority.site
+        current = self._active.get(site)
+        if current == priority:
+            return
+        if current is not None and priority.seq > current.seq:
+            # A fresh timestamp supersedes the old request (it exited, or
+            # was abandoned by a recovery restart).
+            self._finished.add(current)
+            self._transfers.pop(current, None)
+        if current is None or priority.seq > current.seq:
+            self._active[site] = priority
+
+    def _on_reply(self, rec: TraceRecord, msg: Reply) -> None:
+        grantee = msg.grantee
+        arbiter = msg.arbiter
+        if rec.site != grantee.site:
+            return  # misrouted; the site ignores it
+        active = self._active.get(grantee.site)
+        if grantee in self._finished or (
+            active is not None and active.seq > grantee.seq
+        ):
+            return  # stale reply for a finished request; the site drops it
+        if msg.forwarded_by is not None:
+            key = (arbiter, grantee, msg.epoch)
+            sent_at = self._forward_out.pop(key, None)
+            if sent_at is not None:
+                self._entry_pending[grantee.site] = (rec.time, sent_at)
+        holder = self._holder.get(arbiter)
+        if holder is not None and holder != grantee:
+            if arbiter in self._crash_suspect:
+                slug = "quorum-consistency"
+                detail = (
+                    f"recovered arbiter {arbiter} granted {grantee} while "
+                    f"its pre-crash permission is still held by {holder} "
+                    "(unreconciled recovery)"
+                )
+            else:
+                slug = "arbiter-double-grant"
+                detail = (
+                    f"arbiter {arbiter} granted {grantee} "
+                    f"(epoch {msg.epoch}) while {holder} still holds its "
+                    f"permission (epoch {self._holder_epoch.get(arbiter)})"
+                )
+            self._violate(slug, rec, detail)
+        self._holder[arbiter] = grantee
+        self._holder_epoch[arbiter] = msg.epoch
+        self._crash_suspect.discard(arbiter)
+        self._held.setdefault(grantee, {})[arbiter] = msg.epoch
+
+    def _on_transfer(self, msg: Transfer) -> None:
+        holder = msg.holder
+        if holder in self._finished:
+            return
+        held = self._held.get(holder)
+        if held is None or held.get(msg.arbiter) != msg.holder_epoch:
+            return  # outdated instruction; the site ignores it (A.5)
+        self._transfers.setdefault(holder, {})[msg.arbiter] = (
+            msg.beneficiary,
+            msg.holder_epoch,
+        )
+
+    def _on_yield(self, rec: TraceRecord, msg: Yield) -> None:
+        arbiter = rec.site
+        if (
+            self._holder.get(arbiter) != msg.yielder
+            or self._holder_epoch.get(arbiter) != msg.epoch
+        ):
+            return  # stale yield; the arbiter ignores it
+        self._holder[arbiter] = None
+        held = self._held.get(msg.yielder)
+        if held is not None:
+            held.pop(arbiter, None)
+        transfers = self._transfers.get(msg.yielder)
+        if transfers is not None:
+            transfers.pop(arbiter, None)
+
+    def _on_release(self, rec: TraceRecord, msg: Release) -> None:
+        arbiter = rec.site
+        releaser = msg.releaser
+        expected = self._release_expect.pop((releaser, arbiter), _MISSING)
+        if expected is not _MISSING:
+            actual = msg.transferred_to
+            if expected != actual:
+                if expected is not None and actual is None:
+                    detail = (
+                        f"site {releaser.site} released arbiter {arbiter} "
+                        f"with max although it accepted a transfer to "
+                        f"{expected} — the handoff fell back to the 2T path"
+                    )
+                elif expected is None:
+                    detail = (
+                        f"site {releaser.site} told arbiter {arbiter} it "
+                        f"transferred to {actual} without an accepted "
+                        "transfer instruction"
+                    )
+                else:
+                    detail = (
+                        f"site {releaser.site} released arbiter {arbiter} "
+                        f"naming {actual} but the accepted transfer was "
+                        f"for {expected}"
+                    )
+                self._violate("transfer-not-honoured", rec, detail)
+        # A release from the recorded holder settles the permission the
+        # way the release says (this also repairs the monitor's view
+        # after a collected, non-strict violation).
+        if self._holder.get(arbiter) == releaser:
+            self._holder[arbiter] = msg.transferred_to
+            if msg.transferred_to is not None:
+                self._holder_epoch[arbiter] = msg.epoch + 1
+        held = self._held.get(releaser)
+        if held is not None:
+            held.pop(arbiter, None)
+            if not held and releaser in self._finished:
+                del self._held[releaser]
+
+    def _on_probe_ack(self, msg: ProbeAck) -> None:
+        arbiter = msg.arbiter
+        if msg.holds:
+            # The probed site confirmed it holds this permission: the
+            # recovering arbiter's view is reconciled to that holder.
+            self._holder[arbiter] = msg.target
+            held = self._held.get(msg.target)
+            if held is not None and arbiter in held:
+                self._holder_epoch[arbiter] = held[arbiter]
+            self._crash_suspect.discard(arbiter)
+        elif self._holder.get(arbiter) == msg.target:
+            self._holder[arbiter] = None

@@ -325,6 +325,25 @@ class NetworkStats:
         self.by_type[type_name] = self.by_type.get(type_name, 0) + 1
         self.by_destination[dst] = self.by_destination.get(dst, 0) + 1
 
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time copy of every counter (observability layer).
+
+        Dict values are copied so successive snapshots are independent;
+        ``mean_latency`` is derived per delivered message.
+        """
+        delivered = self.messages_delivered
+        return {
+            "messages_sent": self.messages_sent,
+            "messages_delivered": delivered,
+            "messages_dropped": self.messages_dropped,
+            "messages_lost": self.messages_lost,
+            "messages_duplicated": self.messages_duplicated,
+            "messages_reordered": self.messages_reordered,
+            "mean_latency": (self.total_latency / delivered) if delivered else 0.0,
+            "by_type": dict(self.by_type),
+            "by_destination": dict(self.by_destination),
+        }
+
 
 #: Signature of the simulator's delivery callback: ``(src, dst, payload)``.
 #: The former ``Envelope`` dataclass was inlined into the event payload —

@@ -24,7 +24,7 @@ convenience wrapper.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple, Union
 
 from repro.errors import SimulationError
 from repro.sim.event import Event, EventQueue
@@ -32,6 +32,9 @@ from repro.sim.network import DelayModel, FaultModel, Network, UniformDelay
 from repro.sim.node import Node
 from repro.sim.rng import SeedSequence
 from repro.sim.trace import NullTrace, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.transport import ReliableTransport
 
 SiteId = int
 
@@ -93,7 +96,7 @@ class Simulator:
         self.network.on_deliver(self._dispatch)
         #: Optional reliable-channel layer (see :meth:`install_transport`);
         #: ``None`` means nodes talk straight to the raw network.
-        self.transport = None
+        self.transport: Optional["ReliableTransport"] = None
         #: Number of events processed so far (cheap progress/health metric).
         self.events_processed = 0
         #: Time of the most recently processed event. Unlike :attr:`now`,
@@ -319,6 +322,51 @@ class Simulator:
         finally:
             # Keep the counters truthful even when a callback raises; at
             # this point _now is still the last processed event's time.
+            self.events_processed += processed
+            if processed:
+                self.last_event_time = self._now
+        if caught_up and until is not None and until > self._now:
+            self._now = until
+
+    def run_instrumented(
+        self,
+        observer: Callable[[str, float], None],
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Like :meth:`run`, but time every event callback.
+
+        ``observer(label, elapsed_seconds)`` is called once per processed
+        event with the event's schedule label and its wall-clock callback
+        duration — the hook the opt-in profiler in
+        :mod:`repro.obs.profile` aggregates. A separate method (rather
+        than a branch in :meth:`run`) so the default loop stays exactly
+        the hot path the PR-2 benchmark measured; both loops process the
+        identical event history for a given seed.
+        """
+        import time as _time
+
+        perf = _time.perf_counter
+        pop_due = self._queue.pop_due
+        budget = max_events
+        processed = 0
+        caught_up = True
+        try:
+            while True:
+                if budget is not None:
+                    if budget <= 0:
+                        caught_up = False
+                        break
+                    budget -= 1
+                event = pop_due(until)
+                if event is None:
+                    break
+                self._now = event.time
+                processed += 1
+                start = perf()
+                event.fn(*event.args)
+                observer(event.label, perf() - start)
+        finally:
             self.events_processed += processed
             if processed:
                 self.last_event_time = self._now

@@ -40,7 +40,7 @@ installed, costs the default send path one attribute check.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.common import slotted_dataclass
 from repro.errors import ConfigurationError
@@ -455,6 +455,33 @@ class ReliableTransport:
             for channel, state in self._senders.items()
             if state.unacked
         }
+
+    def channel_snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Per-directed-channel state for the observability layer.
+
+        Keys are ``"src->dst"``; values merge the sender half (epoch,
+        next seq, outstanding unacked segments, consecutive retries) and
+        the receiver half (next expected seq, parked out-of-order
+        segments). Channels with no interesting state are omitted so a
+        quiescent run snapshots to ``{}``.
+        """
+        out: Dict[str, Dict[str, int]] = {}
+        for (src, dst), sender in self._senders.items():
+            if not (sender.unacked or sender.retries or sender.epoch):
+                continue
+            entry = out.setdefault(f"{src}->{dst}", {})
+            entry["send_epoch"] = sender.epoch
+            entry["next_seq"] = sender.next_seq
+            entry["unacked"] = len(sender.unacked)
+            entry["retries"] = sender.retries
+        for (src, dst), recv in self._receivers.items():
+            if not (recv.buffer or recv.epoch):
+                continue
+            entry = out.setdefault(f"{src}->{dst}", {})
+            entry["recv_epoch"] = recv.epoch
+            entry["expected"] = recv.expected
+            entry["reorder_buffered"] = len(recv.buffer)
+        return out
 
     def stats_dict(self) -> Dict[str, int]:
         """Non-zero transport counters, ready for ``channel_stats``."""

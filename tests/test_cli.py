@@ -101,3 +101,114 @@ def test_experiment_command_csv(capsys):
 def test_invalid_algorithm_rejected_by_parser():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["run", "-a", "not-an-algorithm"])
+
+
+def test_trace_command_exports_monitored_trace(tmp_path, capsys):
+    out_path = tmp_path / "run.jsonl"
+    code = main(
+        [
+            "trace",
+            "-a",
+            "cao-singhal",
+            "-n",
+            "9",
+            "--saturate",
+            "2",
+            "--seed",
+            "1",
+            "-o",
+            str(out_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "monitor: all invariants held" in out
+    assert "handoff sync delay" in out
+
+    from repro.obs.export import import_jsonl
+
+    trace_file = import_jsonl(str(out_path))
+    assert len(trace_file) > 0
+    assert trace_file.meta["algorithm"] == "cao-singhal"
+    assert trace_file.meta["monitor"]["violations"] == []
+
+
+def test_run_profile_prints_event_loop_table(capsys):
+    code = main(
+        ["run", "-a", "cao-singhal", "-n", "4", "--saturate", "2", "--profile"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "event-loop profile" in out
+    assert "cs-hold" in out
+
+
+def test_run_profile_rejects_multiple_trials():
+    with pytest.raises(SystemExit):
+        main(["run", "-a", "cao-singhal", "--trials", "2", "--profile"])
+
+
+def _write_bench(directory, events_per_sec):
+    import json
+
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "benchmark": "sim_kernel",
+        "events_processed": 63_507,
+        "events_per_sec": events_per_sec,
+        "message_complexity_c": 4.5,
+    }
+    (directory / "BENCH_sim_kernel.json").write_text(json.dumps(payload))
+
+
+def test_regress_command_passes_on_identical_results(tmp_path, capsys):
+    _write_bench(tmp_path / "base", 150_000)
+    _write_bench(tmp_path / "cur", 150_000)
+    code = main(
+        [
+            "regress",
+            "--baseline",
+            str(tmp_path / "base"),
+            "--current",
+            str(tmp_path / "cur"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "**PASS**" in out
+
+
+def test_regress_command_gate_bites_on_slowdown(tmp_path, capsys):
+    _write_bench(tmp_path / "base", 150_000)
+    _write_bench(tmp_path / "cur", 105_000)  # -30%, past the 25% floor
+    report_path = tmp_path / "report.md"
+    code = main(
+        [
+            "regress",
+            "--baseline",
+            str(tmp_path / "base"),
+            "--current",
+            str(tmp_path / "cur"),
+            "--threshold-pct",
+            "25",
+            "--report",
+            str(report_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "`sim_kernel:events_per_sec`" in out
+    assert "**regression**" in report_path.read_text()
+
+
+def test_regress_command_errors_without_results(tmp_path):
+    code = main(
+        [
+            "regress",
+            "--baseline",
+            str(tmp_path / "nope"),
+            "--current",
+            str(tmp_path / "nothing"),
+        ]
+    )
+    assert code == 2

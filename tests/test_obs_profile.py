@@ -1,0 +1,105 @@
+"""Profiling and snapshots are strictly additive over the hot path.
+
+``profiled_run`` drives the identical event history through the
+instrumented loop — same summary digest, same event count — and the
+snapshot helper freezes kernel counters without perturbing the run.
+The byte-level proof that the *disabled* path is untouched lives in
+``tests/test_kernel_equivalence.py``; these tests pin the *enabled*
+path's equivalence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunConfig, run_mutex
+from repro.obs.profile import LoopProfiler, profiled_run, snapshot
+from repro.sim.network import FaultModel, UniformDelay
+from repro.sim.transport import ReliableConfig
+from repro.workload.driver import SaturationWorkload
+
+
+def scenario(**kwargs) -> RunConfig:
+    return RunConfig(
+        algorithm="cao-singhal",
+        n_sites=9,
+        seed=3,
+        delay_model=UniformDelay(0.5, 1.5),
+        workload=SaturationWorkload(4),
+        **kwargs,
+    )
+
+
+def test_profiled_run_matches_plain_run():
+    plain = run_mutex(scenario())
+    profiled, profiler = profiled_run(scenario())
+    assert profiled.summary == plain.summary
+    assert profiled.sim.events_processed == plain.sim.events_processed
+    assert profiler.events == plain.sim.events_processed
+    assert profiler.total_seconds > 0.0
+
+
+def test_profiler_rows_and_report():
+    _, profiler = profiled_run(scenario())
+    rows = profiler.rows()
+    assert rows, "a saturation run must exercise some labels"
+    # Heaviest-total first, shares sum to 1.
+    totals = [row[2] for row in rows]
+    assert totals == sorted(totals, reverse=True)
+    assert sum(row[5] for row in rows) == pytest.approx(1.0)
+    assert sum(row[1] for row in rows) == profiler.events
+    labels = {row[0] for row in rows}
+    assert "cs-hold" in labels
+
+    report = profiler.report()
+    assert "event-loop profile" in report
+    assert "cs-hold" in report
+
+
+def test_profiler_observe_accumulates_per_label():
+    profiler = LoopProfiler()
+    profiler.observe("deliver", 0.002)
+    profiler.observe("deliver", 0.004)
+    profiler.observe("", 0.001)
+    rows = {row[0]: row for row in profiler.rows()}
+    label, count, total, mean_us, max_us, share = rows["deliver"]
+    assert count == 2
+    assert total == 0.006
+    assert mean_us == 3000.0
+    assert max_us == 4000.0
+    assert rows["<unlabelled>"][1] == 1
+    assert profiler.events == 3
+
+
+def test_snapshot_exposes_kernel_counters():
+    result = run_mutex(scenario())
+    snap = snapshot(result.sim, sites=result.sites)
+    assert snap["time"] == result.sim.now
+    assert snap["events_processed"] == result.sim.events_processed
+    assert snap["pending_events"] == 0
+    assert snap["network"]["messages_sent"] > 0
+    assert "transport" not in snap  # no reliable layer installed
+    per_site = snap["sites"]
+    assert set(per_site) == {site.site_id for site in result.sites}
+    assert all(entry["completed"] == 4 for entry in per_site.values())
+    assert all(not entry["crashed"] for entry in per_site.values())
+
+
+def test_snapshot_includes_transport_when_installed():
+    result = run_mutex(
+        scenario(fault_model=FaultModel(loss=0.2), reliable=ReliableConfig())
+    )
+    snap = snapshot(result.sim)
+    assert snap["transport"]["retransmitted"] > 0
+    assert isinstance(snap["channels"], dict)
+    # Quiescent after a drained run: no channel should hold unacked data.
+    for channel in snap["channels"].values():
+        assert channel.get("unacked", 0) == 0
+
+
+def test_snapshots_are_copies_not_views():
+    result = run_mutex(scenario())
+    first = snapshot(result.sim)
+    first["network"]["messages_sent"] = -1
+    second = snapshot(result.sim)
+    assert second["network"]["messages_sent"] > 0
