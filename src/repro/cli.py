@@ -1,13 +1,13 @@
 """Command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     repro run  --algorithm cao-singhal --sites 25 --quorum grid ...
     repro run  --trials 30 --workers 4 --cache   # seed fan-out, cached
     repro experiment E1 [--workers 4] [options]  # regenerate a table/figure
-    repro experiment all                         # everything, EXPERIMENTS.md style
     repro trace -a cao-singhal --out run.jsonl   # monitored run, JSONL trace
     repro regress --baseline benchmarks/results --current fresh/  # bench gate
+    repro explore --quorums "3,4;3,4;3,4;3;4" --crashes 1  # model checker
 
 (Invoke as ``python -m repro.cli`` when the console script is not on
 PATH.)
@@ -42,7 +42,7 @@ from repro.experiments.runner import RunConfig, run_mutex
 from repro.metrics.tables import render_table
 from repro.mutex.registry import algorithm_names
 from repro.parallel import RunCache, TrialPool, WORKERS_ENV
-from repro.quorums.registry import quorum_system_names
+from repro.quorums.registry import make_quorum_system, quorum_system_names
 from repro.ft.chaos import CHAOS_PRESETS, chaos_preset
 from repro.sim.network import (
     ConstantDelay,
@@ -201,6 +201,74 @@ def build_parser() -> argparse.ArgumentParser:
     regress_p.add_argument(
         "--report", default=None, metavar="PATH",
         help="also write the markdown report to PATH",
+    )
+
+    explore_p = sub.add_parser(
+        "explore",
+        help="model-check a configuration: exhaustive (DPOR-reduced) "
+        "interleaving search with optional fault actions",
+    )
+    source = explore_p.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--quorums", metavar="TABLE",
+        help="explicit per-site quorum table, semicolon-separated comma "
+        'lists, e.g. "3,4;3,4;3,4;3;4"',
+    )
+    source.add_argument(
+        "--quorum", "-q", choices=quorum_system_names(),
+        help="registered quorum construction, instantiated for --sites",
+    )
+    explore_p.add_argument(
+        "--sites", "-n", type=int, default=4,
+        help="site count for --quorum (ignored with --quorums)",
+    )
+    explore_p.add_argument(
+        "--requests", default="1", metavar="R|R0,R1,...",
+        help="CS requests per site: one count for every site, or a "
+        "per-site comma list",
+    )
+    explore_p.add_argument(
+        "--transfer", action=argparse.BooleanOptionalAction, default=True,
+        help="the paper's delay-optimal permission forwarding",
+    )
+    explore_p.add_argument(
+        "--max-states", type=int, default=100_000, metavar="N",
+        help="exact state budget: the search stops (incomplete, exit 3) "
+        "after expanding N states",
+    )
+    explore_p.add_argument(
+        "--depth-limit", type=int, default=None, metavar="D",
+        help="cap schedule length (marks the search incomplete)",
+    )
+    explore_p.add_argument(
+        "--dpor", action=argparse.BooleanOptionalAction, default=True,
+        help="sleep-set partial-order reduction (same verdicts, fewer "
+        "transitions)",
+    )
+    explore_p.add_argument(
+        "--crashes", type=int, default=0, metavar="K",
+        help="fault budget: crash/detect cycles per schedule",
+    )
+    explore_p.add_argument(
+        "--recoveries", type=int, default=0, metavar="K",
+        help="fault budget: how many crashes later recover and rejoin",
+    )
+    explore_p.add_argument(
+        "--crash-sites", default=None, metavar="I,J,...",
+        help="restrict which sites may crash (default: any)",
+    )
+    explore_p.add_argument(
+        "--cuts", type=int, default=0, metavar="K",
+        help="fault budget: link cut/heal cycles per schedule",
+    )
+    explore_p.add_argument(
+        "--cut-links", default=None, metavar="A-B,...",
+        help="links the cut budget may sever, e.g. 0-2,1-3",
+    )
+    explore_p.add_argument(
+        "--out", "-o", default=None, metavar="PATH",
+        help="on a counterexample, write the shrunk schedule as "
+        "monitor-replayable repro-trace/1 JSONL ('-' for stdout)",
     )
 
     exp_p = sub.add_parser(
@@ -411,6 +479,100 @@ def cmd_regress(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _explore_setup(args: argparse.Namespace):
+    """(quorums, requests, fault_budget) from the explore flags."""
+    from repro.ft.chaos import FaultBudget
+
+    if args.quorums:
+        quorums = [
+            {int(s) for s in part.split(",") if s.strip()}
+            for part in args.quorums.split(";")
+        ]
+    else:
+        qs = make_quorum_system(args.quorum, args.sites)
+        quorums = [set(qs.quorum_for(i)) for i in range(args.sites)]
+    n = len(quorums)
+    if "," in args.requests:
+        requests = [int(x) for x in args.requests.split(",")]
+        if len(requests) != n:
+            raise SystemExit(
+                f"--requests lists {len(requests)} sites, topology has {n}"
+            )
+    else:
+        requests = [int(args.requests)] * n
+    budget = None
+    if args.crashes or args.cuts:
+        budget = FaultBudget(
+            crashes=args.crashes,
+            recoveries=args.recoveries,
+            cuts=args.cuts,
+            cut_links=tuple(
+                tuple(sorted(int(x) for x in link.split("-")))
+                for link in args.cut_links.split(",")
+            )
+            if args.cut_links
+            else (),
+            crash_sites=tuple(
+                int(x) for x in args.crash_sites.split(",")
+            )
+            if args.crash_sites
+            else None,
+        )
+    return quorums, requests, budget
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    """Model-check one configuration.
+
+    Exit status 0 for a fully explored clean space, 3 when the state or
+    depth budget ran out with no violation found, 1 on a counterexample
+    (written to ``--out`` when given, shrunk and monitor-replayable).
+    """
+    import repro.verify.explore as ex
+
+    quorums, requests, budget = _explore_setup(args)
+    try:
+        result = ex.explore(
+            quorums,
+            requests,
+            args.transfer,
+            max_states=args.max_states,
+            keep_paths=True,
+            dpor=args.dpor,
+            fault_budget=budget,
+            depth_limit=args.depth_limit,
+        )
+    except ex.CounterexampleFound as cex:
+        print(f"counterexample: {type(cex.cause).__name__}: {cex.cause}")
+        if args.out:
+            target = sys.stdout if args.out == "-" else args.out
+            count = ex.export_counterexample(
+                target,
+                quorums,
+                cex.path,
+                cex.cause,
+                requests,
+                args.transfer,
+                fault_budget=budget,
+            )
+            if args.out != "-":
+                print(f"exported {count} trace records -> {args.out}")
+        else:
+            print(f"schedule ({len(cex.path)} actions, unshrunk):")
+            for action in cex.path:
+                print(f"  {ex.encode_action(action)}")
+        return 1
+    status = "complete" if result.complete else "budget exhausted"
+    print(
+        f"explored {result.states_explored} states, "
+        f"{result.transitions} transitions (depth <= {result.max_depth}, "
+        f"{result.sleep_pruned} sleep-pruned, {result.dedup_hits} dedup "
+        f"hits): {status}, no violation"
+    )
+    print(f"terminal states: {result.terminal_states}")
+    return 0 if result.complete else 3
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
     env_workers = os.environ.get(WORKERS_ENV)
@@ -461,6 +623,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_trace(args)
     if args.command == "regress":
         return cmd_regress(args)
+    if args.command == "explore":
+        return cmd_explore(args)
     if args.command == "experiment":
         return cmd_experiment(args)
     return 2  # pragma: no cover - argparse enforces the choices

@@ -31,7 +31,15 @@ This implementation therefore adds a **probe/ack reconciliation round**:
 * when the lock holder itself is the dead site, the arbiter probes every
   live queued requester before granting anew — a *yes* answer means the
   dead proxy had already forwarded the permission, and the arbiter
-  adopts that site as its lock holder instead of double-granting.
+  adopts that site as its lock holder instead of double-granting;
+* a crash-*recovered* arbiter runs the same reconciliation on rejoin
+  (``RejoinProbe``/``RejoinAck``): its pre-crash permission may still be
+  held by a live site — even one inside the CS, when the whole
+  crash/recover cycle fits inside a single CS residency — so the rebuilt
+  arbiter defers arriving requests until every live peer has answered
+  "do you hold my permission?", adopting the holder (and its tenure
+  number) on a *yes*. The model checker in :mod:`repro.verify.explore`
+  found the double-grant this prevents (see DESIGN.md).
 
 Both exchanges are race-free because the probe/ack shares a FIFO channel
 with the yield/release traffic it could conflict with: any yield or
@@ -62,6 +70,8 @@ from repro.core.messages import (
     Inquire,
     Probe,
     ProbeAck,
+    RejoinAck,
+    RejoinProbe,
     Release,
     Reply,
     Request,
@@ -106,6 +116,13 @@ class FaultTolerantSite(CaoSinghalSite):
         #: Outstanding case-3 recovery: the queued requests still to be
         #: probed before the dead holder's permission is granted anew.
         self._probe_pending: Optional[Set[Priority]] = None
+        #: Outstanding rejoin reconciliation: the live peers whose
+        #: :class:`~repro.core.messages.RejoinAck` we still await before
+        #: the rebuilt arbiter may grant (see ``reset_after_recovery``).
+        self._rejoin_waiting: Set[SiteId] = set()
+        #: Requests that arrived during the rejoin round, replayed
+        #: through normal A.2 handling once the round resolves.
+        self._rejoin_deferred: List[Request] = []
 
     # ------------------------------------------------------------------
     # Failure notification handling (Section 6)
@@ -122,6 +139,12 @@ class FaultTolerantSite(CaoSinghalSite):
         self.known_failed.add(failed)
         self._arbiter_cleanup(failed)
         self._requester_cleanup(failed)
+        if self._rejoin_waiting:
+            # A peer we were waiting on for a rejoin ack died; its answer
+            # will never come (fail-stop), so stop waiting for it.
+            self._rejoin_waiting.discard(failed)
+            if not self._rejoin_waiting:
+                self._resolve_rejoin_round()
 
     # -- arbiter side (paper cases 1-3 + probe reconciliation) -----------------
 
@@ -421,14 +444,73 @@ class FaultTolerantSite(CaoSinghalSite):
         self.inaccessible = False
         self._adopt_new_quorum(restart=False)
         # Defer our own requests until peers have readmitted us: a request
-        # sent now would be dropped by their known-failed filter. The
-        # arbiter role resumes immediately (fresh and safe).
+        # sent now would be dropped by their known-failed filter.
         self.rejoining = True
+        # The arbiter role must NOT resume from the fresh free lock: our
+        # *pre-crash* permission may still be held by a live site — even
+        # one inside the CS, when recovery completes within a single CS
+        # residency (the model checker finds the double-grant in an
+        # 8-action schedule; see DESIGN.md). Before the first grant, ask
+        # every live peer whether it holds our permission and defer
+        # arriving requests until all answers are in.
+        self._rejoin_deferred = []
+        peers = {
+            s
+            for s in range(self.quorum_system.n)
+            if s != self.site_id and s not in self.known_failed
+        }
+        self._rejoin_waiting = peers
+        for peer in sorted(peers):
+            self.send(peer, RejoinProbe(arbiter=self.site_id))
 
     def complete_rejoin(self) -> None:
         """Peers have processed our recovery; resume requesting."""
         self.rejoining = False
         self._maybe_start()
+
+    def _handle_rejoin_probe(self, src: SiteId, msg: RejoinProbe) -> None:
+        """Requester side: report whether we hold the rebuilt arbiter's
+        pre-crash permission, and under which tenure."""
+        holds = self.req.priority is not None and bool(
+            self.req.replied.get(msg.arbiter)
+        )
+        self.send(
+            src,
+            RejoinAck(
+                arbiter=msg.arbiter,
+                responder=self.site_id,
+                holder=self.req.priority if holds else None,
+                epoch=self.req.grant_epoch.get(msg.arbiter, 0)
+                if holds
+                else 0,
+            ),
+        )
+
+    def _handle_rejoin_ack(self, src: SiteId, msg: RejoinAck) -> None:
+        """Arbiter side: account one answer; resolve when all are in."""
+        if src not in self._rejoin_waiting:
+            return  # stale ack from an already-resolved round
+        self._rejoin_waiting.discard(src)
+        if msg.holder is not None and self.arbiter.is_free:
+            # Our pre-crash permission is alive out there: adopt its
+            # holder and *resume the pre-crash tenure numbering*, so our
+            # later inquires and transfers pass the holder's staleness
+            # checks (a fresh epoch would make them die as ghosts — a
+            # liveness hole). At most one site can answer positively: a
+            # permission has one holder at a time and in-flight handoffs
+            # die with their proxy (fail-stop), so the round is decided.
+            self._rejoin_waiting = set()
+            self.arbiter.lock = msg.holder
+            self.arbiter.epoch = msg.epoch
+        if not self._rejoin_waiting:
+            self._resolve_rejoin_round()
+
+    def _resolve_rejoin_round(self) -> None:
+        """All answers in (or moot): replay the deferred requests through
+        the normal A.2 path against the reconciled lock state."""
+        deferred, self._rejoin_deferred = self._rejoin_deferred, []
+        for msg in deferred:
+            self._handle_request(msg)
 
     def _maybe_start(self) -> None:
         if self.rejoining:
@@ -452,6 +534,9 @@ class FaultTolerantSite(CaoSinghalSite):
             and msg.grantee == self.req.priority
             and self.state is SiteState.REQUESTING
             and msg.arbiter in self.req.replied
+            # An inaccessible site can never complete its quorum: hoarding
+            # a grant would wedge the (live) arbiter for everyone else.
+            and not self.inaccessible
         )
         if usable:
             if self.req.replied.get(msg.arbiter):
@@ -529,6 +614,12 @@ class FaultTolerantSite(CaoSinghalSite):
         removing it here saves that round trip and keeps the queue free of
         duplicates.
         """
+        if self._rejoin_waiting:
+            # Mid rejoin-reconciliation: granting now could double-grant
+            # a permission a live site still holds from before our crash.
+            # Park the request; the round's resolution replays it here.
+            self._rejoin_deferred.append(msg)
+            return
         if msg.priority.site in self.known_failed:
             return
         arb = self.arbiter
@@ -551,5 +642,9 @@ class FaultTolerantSite(CaoSinghalSite):
             self._handle_probe(src, part)
         elif isinstance(part, ProbeAck):
             self._handle_probe_ack(src, part)
+        elif isinstance(part, RejoinProbe):
+            self._handle_rejoin_probe(src, part)
+        elif isinstance(part, RejoinAck):
+            self._handle_rejoin_ack(src, part)
         else:
             super()._dispatch_part(src, part)

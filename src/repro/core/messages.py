@@ -172,3 +172,44 @@ class ProbeAck:
     holds: bool
 
     type_name = "probe-ack"
+
+
+@slotted_dataclass(frozen=True)
+class RejoinProbe:
+    """Rejoin reconciliation (fault-tolerance extension, not in paper).
+
+    A crash-recovered site rebuilds its arbiter role from nothing — but
+    its *pre-crash* permission may still be held by a live site (even
+    one inside the CS, if recovery completes within a CS residency).
+    Granting from the fresh free lock would then double-grant; the model
+    checker (:mod:`repro.verify.explore`) finds the overlap in an
+    8-action schedule. So before its first grant the recovered arbiter
+    asks every live site "do you hold my permission?", and defers
+    arriving requests to its queue until all answers are in.
+    """
+
+    arbiter: SiteId
+
+    type_name = "rejoin-probe"
+
+
+@slotted_dataclass(frozen=True)
+class RejoinAck:
+    """Answer to a :class:`RejoinProbe`.
+
+    ``responder`` is the answering site; ``holder`` is its current
+    request if it holds the recovered arbiter's permission, else
+    ``None``; ``epoch`` is the tenure that grant carried, so the
+    adopting arbiter can resume the pre-crash tenure numbering and its
+    later inquires/transfers pass the holder's staleness checks.
+    Race-free on the same FIFO-sharing argument as :class:`Probe`: any
+    release or yield the holder sent before the ack reaches the arbiter
+    first.
+    """
+
+    arbiter: SiteId
+    responder: SiteId
+    holder: Optional[Priority]
+    epoch: int = 0
+
+    type_name = "rejoin-ack"

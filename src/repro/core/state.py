@@ -71,6 +71,12 @@ class RequestQueue:
                 return self._items.pop(idx)
         return None
 
+    def clone(self) -> "RequestQueue":
+        """Independent copy (entries are immutable and shared)."""
+        new = RequestQueue.__new__(RequestQueue)
+        new._items = list(self._items)
+        return new
+
     def __repr__(self) -> str:
         return f"RequestQueue({[str(p) for p in self._items]})"
 
@@ -128,6 +134,12 @@ class TranStack:
         """Empty the stack (start of a new request)."""
         self._items.clear()
 
+    def clone(self) -> "TranStack":
+        """Independent copy (entries are immutable and shared)."""
+        new = TranStack.__new__(TranStack)
+        new._items = list(self._items)
+        return new
+
     def __repr__(self) -> str:
         return (
             "TranStack(["
@@ -165,6 +177,17 @@ class ArbiterState:
         """True when no request holds this arbiter's permission."""
         return self.lock.is_max
 
+    def clone(self) -> "ArbiterState":
+        """Independent copy sharing the immutable priorities.
+
+        The interleaving explorer branches worlds thousands of times per
+        second; a hand-rolled clone avoids ``copy.deepcopy``'s recursive
+        introspection while staying exactly as deep as mutation requires.
+        """
+        return ArbiterState(
+            lock=self.lock, req_queue=self.req_queue.clone(), epoch=self.epoch
+        )
+
 
 @slotted_dataclass
 class RequesterState:
@@ -194,3 +217,15 @@ class RequesterState:
     def all_replied(self) -> bool:
         """True when every quorum member's permission is held (step B)."""
         return bool(self.replied) and all(self.replied.values())
+
+    def clone(self) -> "RequesterState":
+        """Independent copy sharing the immutable priorities/transfers."""
+        new = RequesterState(
+            priority=self.priority,
+            replied=dict(self.replied),
+            grant_epoch=dict(self.grant_epoch),
+            failed=self.failed,
+            inq_pending=dict(self.inq_pending),
+        )
+        new.tran_stack = self.tran_stack.clone()
+        return new

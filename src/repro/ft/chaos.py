@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.sim.node import SiteId
@@ -76,6 +76,87 @@ class CrashCycle:
     crash_at: float
     recover_at: Optional[float] = None
     detection_delay: float = 2.0
+
+
+@dataclass(frozen=True)
+class FaultBudget:
+    """Bounded fault vocabulary for the untimed interleaving explorer.
+
+    The timed chaos engine above schedules faults at *instants*; the
+    stateless model checker (:mod:`repro.verify.explore`) instead makes
+    each fault an *action* that interleaves freely with message
+    deliveries, bounded by this budget per schedule. The vocabulary is
+    the untimed projection of :class:`FaultPlan`'s:
+
+    * ``crashes`` — fail-stop crash cycles (crash → oracle detection on
+      every live peer, as in :class:`repro.ft.recovery.ChurnPlan`);
+    * ``recoveries`` — how many of those cycles later recover and rejoin
+      (``recoveries <= crashes``; the first ``recoveries`` crashes get
+      the full crash/detect/recover/readmit pipeline, the rest stay
+      down);
+    * ``cuts`` / ``cut_links`` — bidirectional link cuts drawn from the
+      explicit ``cut_links`` whitelist, each healed later. In the
+      untimed model a cut only *delays* the channel (the reliable
+      transport's view of a sever), which delivery nondeterminism
+      already subsumes — the action exists so cut/heal interleaves with
+      the fault pipeline are still explicitly explored.
+
+    Loss bursts and delay spikes have no untimed analogue: the explorer
+    already quantifies over every assignment of delays.
+    """
+
+    crashes: int = 0
+    recoveries: int = 0
+    cuts: int = 0
+    cut_links: Tuple[Tuple[SiteId, SiteId], ...] = ()
+    #: Candidate crash victims; ``None`` means every site.
+    crash_sites: Optional[Tuple[SiteId, ...]] = None
+
+    def __post_init__(self) -> None:
+        for name in ("crashes", "recoveries", "cuts"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if self.recoveries > self.crashes:
+            raise ConfigurationError(
+                f"recoveries ({self.recoveries}) cannot exceed crashes "
+                f"({self.crashes})"
+            )
+        if self.cuts > 0 and not self.cut_links:
+            raise ConfigurationError(
+                "a cut budget needs explicit cut_links to draw from"
+            )
+        for a, b in self.cut_links:
+            if a == b:
+                raise ConfigurationError("cannot cut a site's channel to itself")
+            if a > b:
+                raise ConfigurationError(
+                    f"cut_links must be normalized (a < b), got ({a}, {b})"
+                )
+
+    def __bool__(self) -> bool:
+        return self.crashes > 0 or self.cuts > 0
+
+    @classmethod
+    def from_plan(cls, plan: "FaultPlan") -> "FaultBudget":
+        """Project a timed :class:`FaultPlan` onto the untimed vocabulary.
+
+        Crash cycles and link cuts keep their counts (and victims); loss
+        bursts and delay spikes vanish — the explorer's delivery
+        nondeterminism already covers every timing they could induce.
+        """
+        links = tuple(
+            sorted({(min(c.a, c.b), max(c.a, c.b)) for c in plan.cuts})
+        )
+        victims = tuple(sorted({c.site for c in plan.crashes}))
+        return cls(
+            crashes=len(plan.crashes),
+            recoveries=sum(
+                1 for c in plan.crashes if c.recover_at is not None
+            ),
+            cuts=len(plan.cuts),
+            cut_links=links,
+            crash_sites=victims or None,
+        )
 
 
 class _Overlay:

@@ -177,12 +177,23 @@ def decode_record(line: str) -> TraceRecord:
 
 def export_jsonl(
     records: Iterable[TraceRecord],
-    path: str,
+    path,
     meta: Optional[Dict[str, Any]] = None,
 ) -> int:
-    """Write a header plus one line per record; returns the record count."""
+    """Write a header plus one line per record; returns the record count.
+
+    ``path`` is a filesystem path or any text file object (``write``
+    suffices) — the latter is what lets the CLI stream a trace to
+    stdout with ``--out -``. A passed-in file object is not closed.
+    """
     count = 0
-    with open(path, "w", encoding="utf-8") as fh:
+    if hasattr(path, "write"):
+        fh = path
+        close = False
+    else:
+        fh = open(path, "w", encoding="utf-8")
+        close = True
+    try:
         header: Dict[str, Any] = {"schema": SCHEMA}
         if meta:
             header["meta"] = meta
@@ -190,25 +201,37 @@ def export_jsonl(
         for rec in records:
             fh.write(encode_record(rec) + "\n")
             count += 1
+    finally:
+        if close:
+            fh.close()
     return count
 
 
-def import_jsonl(path: str) -> TraceFile:
-    """Read a JSONL trace back into decoded records (strict on schema)."""
+def import_jsonl(path) -> TraceFile:
+    """Read a JSONL trace back into decoded records (strict on schema).
+
+    ``path`` is a filesystem path or any iterable of lines (an open
+    text file, ``sys.stdin``, a list). A passed-in object is consumed,
+    not closed.
+    """
+    if hasattr(path, "read") or not isinstance(path, (str, bytes)):
+        return _import_lines(iter(path), label="<stream>")
     with open(path, "r", encoding="utf-8") as fh:
-        header_line = fh.readline()
-        if not header_line.strip():
-            raise ConfigurationError(f"{path}: empty trace file")
-        header = json.loads(header_line)
-        schema = header.get("schema")
-        if schema != SCHEMA:
-            raise ConfigurationError(
-                f"{path}: unsupported trace schema {schema!r} "
-                f"(expected {SCHEMA!r})"
-            )
-        records = [
-            decode_record(line) for line in fh if line.strip()
-        ]
+        return _import_lines(iter(fh), label=str(path))
+
+
+def _import_lines(lines, label: str) -> TraceFile:
+    header_line = next(lines, "")
+    if not header_line.strip():
+        raise ConfigurationError(f"{label}: empty trace file")
+    header = json.loads(header_line)
+    schema = header.get("schema")
+    if schema != SCHEMA:
+        raise ConfigurationError(
+            f"{label}: unsupported trace schema {schema!r} "
+            f"(expected {SCHEMA!r})"
+        )
+    records = [decode_record(line) for line in lines if line.strip()]
     return TraceFile(
         schema=schema, meta=header.get("meta", {}), records=records
     )

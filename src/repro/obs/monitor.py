@@ -29,6 +29,11 @@ Invariants checked (slugs are stable; see ``docs/API.md``):
     After an arbiter crashes and recovers, it must not grant while its
     pre-crash permission is still held by a live request it has not
     reconciled with (Section 6 / :mod:`repro.core.faults` probes).
+``deadlock``
+    At a ``quiescent`` marker (emitted only by the interleaving
+    explorer's counterexample bridge, never by live runs), no live
+    unserved request may remain and no site may still be inside the CS
+    (Theorems 2-3: nothing else will ever run, so waiting is forever).
 
 The monitor consumes only the record kinds the simulator already emits
 (``deliver``, ``deliver-local``, ``request``, ``cs_enter``, ``cs_exit``,
@@ -53,6 +58,8 @@ from repro.core.messages import (
     FailureNotice,
     Probe,
     ProbeAck,
+    RejoinAck,
+    RejoinProbe,
     Release,
     Reply,
     Request,
@@ -170,6 +177,8 @@ class ProtocolMonitor:
             self._on_exit(rec)
         elif kind == "crash":
             self._on_crash(rec)
+        elif kind == "quiescent":
+            self._on_quiescent(rec)
         # "request" and "recover" need no bookkeeping: requests are
         # learned from their deliveries, recovery from later probe traffic.
 
@@ -275,6 +284,31 @@ class ProtocolMonitor:
                 if self._holder.get(arbiter) == priority:
                     self._holder[arbiter] = None
 
+    def _on_quiescent(self, rec: TraceRecord) -> None:
+        """A producer asserted the system is terminally quiescent.
+
+        Live runs never emit this kind; the interleaving explorer's
+        counterexample bridge appends one synthetic marker (site ``-1``)
+        after a deadlocking schedule's last action. Quiescence makes
+        waiting requests checkable from the trace alone: nothing more
+        will ever be delivered, so any live unserved request the monitor
+        still tracks — or any site still inside the CS — is a deadlock,
+        not a not-yet-finished run.
+        """
+        stuck = sorted(
+            str(priority)
+            for priority in self._active.values()
+            if priority not in self._finished
+        )
+        if stuck or self._in_cs:
+            inside = sorted(self._in_cs)
+            self._violate(
+                "deadlock",
+                rec,
+                "terminally quiescent with unserved requests "
+                f"{stuck} and site(s) {inside} inside the CS",
+            )
+
     def _on_crash(self, rec: TraceRecord) -> None:
         site = rec.site
         self._in_cs.discard(site)
@@ -306,7 +340,9 @@ class ProtocolMonitor:
             self._on_yield(rec, msg)
         elif isinstance(msg, ProbeAck):
             self._on_probe_ack(msg)
-        elif isinstance(msg, (Probe, FailureNotice)):
+        elif isinstance(msg, RejoinAck):
+            self._on_rejoin_ack(msg)
+        elif isinstance(msg, (Probe, RejoinProbe, FailureNotice)):
             pass  # no state to mirror: answers/cleanup show up later
         # Inquire/Fail carry no permission movement; other algorithms'
         # messages (Mk*, RA*, tokens) are not cao-singhal protocol traffic.
@@ -439,4 +475,21 @@ class ProtocolMonitor:
                 self._holder_epoch[arbiter] = held[arbiter]
             self._crash_suspect.discard(arbiter)
         elif self._holder.get(arbiter) == msg.target:
+            self._holder[arbiter] = None
+
+    def _on_rejoin_ack(self, msg: RejoinAck) -> None:
+        arbiter = msg.arbiter
+        if msg.holder is not None:
+            # The answering site holds the rebuilt arbiter's pre-crash
+            # permission: the arbiter adopts it (and its tenure).
+            self._holder[arbiter] = msg.holder
+            self._holder_epoch[arbiter] = msg.epoch
+            self._held.setdefault(msg.holder, {})[arbiter] = msg.epoch
+            self._crash_suspect.discard(arbiter)
+            return
+        held = self._holder.get(arbiter)
+        if held is not None and held.site == msg.responder:
+            # The site we credited with this permission denies holding it
+            # (e.g. a recovery restart abandoned the grant without a
+            # release reaching the then-dead arbiter).
             self._holder[arbiter] = None

@@ -1,0 +1,90 @@
+"""The exploration alphabet: identity, independence, serialization.
+
+An action is a ``(kind, arg)`` tuple (see :mod:`.world`); the tuple is
+its own stable identity across worlds, which is what sleep sets and the
+per-state explored-set bookkeeping key on.
+
+**Independence relation.** Two actions are independent iff both are
+protocol actions (a channel-head delivery or a timer firing) executed by
+*different* sites. The executing site of a delivery is the destination:
+a handler reads and writes only its own site's state, appends only to
+channels whose source is itself, and never touches another site's
+timers. Two deliveries to distinct destinations therefore commute even
+when one's destination is the other's source — the bystander's append
+lands on a channel *tail* while the delivery consumes a *head*, and
+under FIFO channels those operations commute. Fault-oracle actions
+(crash/detect/recover/readmit/cut/heal) are dependent with everything:
+a crash rewrites channels wholesale, detection touches every live site,
+and a cut flips a channel's deliverability — none of it commutes in
+general, so the search never sleeps them and they clear no one's
+enabledness assumptions. DESIGN.md ("A fault-aware stateless model
+checker") carries the full soundness argument.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+Action = Tuple[str, object]
+
+#: Kinds whose executing site is ``arg`` (an int).
+_SITE_KINDS = frozenset(
+    {"crash", "detect", "recover", "readmit"}
+)
+
+
+def executing_site(action: Action) -> int:
+    """The single site whose protocol state the action mutates, or -1
+    for oracle actions with a global footprint."""
+    kind, arg = action
+    if kind == "deliver":
+        return arg[1]  # type: ignore[index]
+    if kind == "timer":
+        return arg[0]  # type: ignore[index]
+    return -1
+
+
+def is_protocol_action(action: Action) -> bool:
+    """Deliveries and timer firings; the commuting fragment."""
+    return action[0] in ("deliver", "timer")
+
+
+def independent(a: Action, b: Action) -> bool:
+    """True when ``a`` and ``b`` commute from every state enabling both."""
+    if a[0] not in ("deliver", "timer") or b[0] not in ("deliver", "timer"):
+        return False
+    return executing_site(a) != executing_site(b)
+
+
+def encode_action(action: Action) -> list:
+    """JSON-friendly form: ``[kind, arg]`` with tuples as lists."""
+    kind, arg = action
+    if isinstance(arg, tuple):
+        return [kind, list(arg)]
+    return [kind, arg]
+
+
+def decode_action(row: Sequence) -> Action:
+    """Inverse of :func:`encode_action` (strict, for counterexample files)."""
+    if len(row) != 2:
+        raise ConfigurationError(f"malformed action row: {row!r}")
+    kind, arg = row
+    if kind in ("deliver", "cut", "heal"):
+        src, dst = arg
+        return (kind, (int(src), int(dst)))
+    if kind == "timer":
+        site, method, seq = arg
+        return (kind, (int(site), str(method), int(seq)))
+    if kind in _SITE_KINDS:
+        return (kind, int(arg))
+    raise ConfigurationError(f"unknown action kind {kind!r}")
+
+
+def encode_path(path: Sequence[Action]) -> List[list]:
+    return [encode_action(a) for a in path]
+
+
+def decode_path(rows: Sequence[Sequence]) -> List[Action]:
+    return [decode_action(row) for row in rows]

@@ -1,0 +1,298 @@
+"""The counterexample bridge: replay, shrink, export, monitor-verify.
+
+A :class:`~repro.verify.explore.search.CounterexampleFound` carries the
+exact action path from the initial world to the failure. This module
+turns that path into a durable artifact:
+
+* :func:`replay_path` — deterministically re-execute the path on a fresh
+  world and return the reproduced failure (or ``None``);
+* :func:`shrink_path` — greedy elision: drop any action whose removal
+  still reproduces the same failure class, to a fixpoint, so the
+  committed artifact is the minimal schedule a human has to read;
+* :func:`counterexample_records` — replay with tracing enabled, yielding
+  the ``repro-trace/1`` record stream (deliveries, CS lifecycle, fault
+  events, plus a synthetic ``quiescent`` marker for deadlocks);
+* :func:`export_counterexample` / :func:`load_counterexample` — the
+  JSONL file, with the config and encoded path in the header ``meta``;
+* :func:`replay_counterexample` — the independent verdict: run the
+  records through :class:`~repro.obs.monitor.ProtocolMonitor` and return
+  the violations it finds. The monitor mirrors protocol state from the
+  trace alone, so agreement between the explorer's verdict and the
+  monitor's is a genuine cross-check, not a tautology
+  (``tests/test_explore_counterexamples.py`` pins the round-trip; the
+  committed corpus in ``tests/data/counterexamples/`` pins it for the
+  project's two historical bugs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, DeadlockError
+from repro.ft.chaos import FaultBudget
+from repro.sim.trace import Trace, TraceRecord
+from repro.verify.explore.actions import Action, decode_path, encode_path
+from repro.verify.explore.world import _World, _check_terminal, build_world
+
+# NOTE: repro.obs is imported lazily inside functions — its package
+# __init__ pulls in the experiment runner, which imports repro.verify,
+# and an eager import here would close that cycle.
+
+#: ``meta["kind"]`` marking a trace file as an explorer counterexample.
+COUNTEREXAMPLE_KIND = "explorer-counterexample"
+
+
+def replay_path(
+    quorums: Sequence[Iterable[int]],
+    path: Sequence[Action],
+    requests_per_site: Optional[Sequence[int]] = None,
+    enable_transfer: bool = True,
+    *,
+    fault_budget: Optional[FaultBudget] = None,
+    site_cls: Optional[type] = None,
+    trace: Optional[Trace] = None,
+) -> Tuple[_World, Optional[Exception]]:
+    """Re-execute ``path`` from a fresh initial world.
+
+    Returns ``(world, failure)`` where ``failure`` is the exception the
+    path reproduces — raised by an action's handler, or by the terminal
+    liveness check when the replayed world ends quiescent — or ``None``
+    when the path reproduces nothing. Replay is deterministic: the world
+    menu is a function of state and the path fixes every choice.
+
+    ``trace``, when given, is installed as the world's (enabled) trace;
+    ``world.fake_sim.now`` advances to the step index before each action
+    so emitted records carry monotone synthetic times.
+    """
+    world = build_world(
+        quorums,
+        requests_per_site,
+        enable_transfer,
+        fault_budget=fault_budget,
+        site_cls=site_cls,
+        trace=trace,
+    )
+    requests = list(requests_per_site or [1] * len(quorums))
+    for index, action in enumerate(path):
+        world.fake_sim.now = float(index + 1)
+        try:
+            world.apply(action)
+        except Exception as exc:
+            return world, exc
+    if not world.enabled_actions():
+        try:
+            _check_terminal(world, sum(requests))
+        except Exception as exc:
+            return world, exc
+    return world, None
+
+
+def shrink_path(
+    quorums: Sequence[Iterable[int]],
+    path: Sequence[Action],
+    cause: Exception,
+    requests_per_site: Optional[Sequence[int]] = None,
+    enable_transfer: bool = True,
+    *,
+    fault_budget: Optional[FaultBudget] = None,
+    site_cls: Optional[type] = None,
+) -> List[Action]:
+    """Greedy elision to a fixpoint, preserving the failure class.
+
+    Tries dropping each action in turn; a drop survives iff the shorter
+    path still reproduces an exception of exactly ``type(cause)`` (a
+    dropped delivery often makes a *later* action inapplicable — the
+    replay's KeyError then reads as "does not reproduce", which is the
+    correct rejection). Quadratic in the path length per sweep, which is
+    fine at counterexample scale; the result is 1-minimal: no single
+    remaining action can be removed.
+    """
+    target = type(cause)
+
+    def reproduces(candidate: Sequence[Action]) -> bool:
+        try:
+            _, failure = replay_path(
+                quorums,
+                candidate,
+                requests_per_site,
+                enable_transfer,
+                fault_budget=fault_budget,
+                site_cls=site_cls,
+            )
+        except Exception:  # malformed schedule (e.g. budget underflow)
+            return False
+        return type(failure) is target
+
+    current = list(path)
+    if not reproduces(current):
+        raise ConfigurationError(
+            "shrink_path was handed a path that does not reproduce "
+            f"{target.__name__}"
+        )
+    changed = True
+    while changed:
+        changed = False
+        index = 0
+        while index < len(current):
+            candidate = current[:index] + current[index + 1 :]
+            if reproduces(candidate):
+                current = candidate
+                changed = True  # re-sweep: earlier drops may now succeed
+            else:
+                index += 1
+    return current
+
+
+def counterexample_records(
+    quorums: Sequence[Iterable[int]],
+    path: Sequence[Action],
+    requests_per_site: Optional[Sequence[int]] = None,
+    enable_transfer: bool = True,
+    *,
+    fault_budget: Optional[FaultBudget] = None,
+    site_cls: Optional[type] = None,
+) -> Tuple[List[TraceRecord], Optional[Exception]]:
+    """Replay with tracing on; return the record stream and the failure.
+
+    The stream contains what a live monitored run would have seen —
+    ``request`` / ``deliver`` / ``cs_enter`` / ``cs_exit`` plus the fault
+    events — and, when the failure is a terminal liveness violation
+    (deadlock), one synthetic ``{"k": "quiescent", "s": -1}`` marker
+    after the last action: the explorer knows the state is terminal (no
+    enabled action remains), and the marker carries that knowledge to
+    the monitor, which otherwise cannot distinguish "stuck forever"
+    from "more records coming".
+    """
+    trace = Trace(enabled=True)
+    _, failure = replay_path(
+        quorums,
+        path,
+        requests_per_site,
+        enable_transfer,
+        fault_budget=fault_budget,
+        site_cls=site_cls,
+        trace=trace,
+    )
+    records = list(trace)
+    if isinstance(failure, DeadlockError):
+        records.append(
+            TraceRecord(
+                time=float(len(path) + 1),
+                kind="quiescent",
+                site=-1,
+                detail=None,
+            )
+        )
+    return records, failure
+
+
+def export_counterexample(
+    out_path: str,
+    quorums: Sequence[Iterable[int]],
+    path: Sequence[Action],
+    cause: Exception,
+    requests_per_site: Optional[Sequence[int]] = None,
+    enable_transfer: bool = True,
+    *,
+    fault_budget: Optional[FaultBudget] = None,
+    site_cls: Optional[type] = None,
+    shrink: bool = True,
+) -> int:
+    """Write a monitor-replayable counterexample JSONL; returns its
+    record count.
+
+    The header ``meta`` embeds everything needed to regenerate the file:
+    the failure class and message, the configuration, and the (shrunk)
+    encoded action path. ``site_cls`` (when not the default) is recorded
+    as ``module:qualname`` provenance — loading never imports it; the
+    monitor verdict comes from the records alone.
+    """
+    final_path = list(path)
+    if shrink:
+        final_path = shrink_path(
+            quorums,
+            final_path,
+            cause,
+            requests_per_site,
+            enable_transfer,
+            fault_budget=fault_budget,
+            site_cls=site_cls,
+        )
+    records, failure = counterexample_records(
+        quorums,
+        final_path,
+        requests_per_site,
+        enable_transfer,
+        fault_budget=fault_budget,
+        site_cls=site_cls,
+    )
+    if type(failure) is not type(cause):
+        raise ConfigurationError(
+            f"replay reproduced {type(failure).__name__}, "
+            f"not {type(cause).__name__}"
+        )
+    requests = list(requests_per_site or [1] * len(quorums))
+    meta: Dict[str, Any] = {
+        "kind": COUNTEREXAMPLE_KIND,
+        "cause": type(cause).__name__,
+        "message": str(cause),
+        "config": {
+            "quorums": [sorted(q) for q in quorums],
+            "requests_per_site": requests,
+            "enable_transfer": enable_transfer,
+        },
+        "path": encode_path(final_path),
+    }
+    if fault_budget:
+        meta["config"]["fault_budget"] = {
+            "crashes": fault_budget.crashes,
+            "recoveries": fault_budget.recoveries,
+            "cuts": fault_budget.cuts,
+            "cut_links": [list(link) for link in fault_budget.cut_links],
+            "crash_sites": (
+                None
+                if fault_budget.crash_sites is None
+                else sorted(fault_budget.crash_sites)
+            ),
+        }
+    if site_cls is not None:
+        meta["site"] = f"{site_cls.__module__}:{site_cls.__qualname__}"
+    from repro.obs.export import export_jsonl
+
+    return export_jsonl(records, out_path, meta=meta)
+
+
+def load_counterexample(path: str) -> "TraceFile":
+    """Import a counterexample JSONL, validating its ``meta`` shape."""
+    from repro.obs.export import import_jsonl
+
+    trace_file = import_jsonl(path)
+    meta = trace_file.meta
+    if meta.get("kind") != COUNTEREXAMPLE_KIND:
+        raise ConfigurationError(
+            f"{path}: not an explorer counterexample "
+            f"(meta.kind={meta.get('kind')!r})"
+        )
+    decode_path(meta.get("path", []))  # validates the encoded actions
+    return trace_file
+
+
+def replay_counterexample(
+    source, strict: bool = False
+) -> List["Any"]:
+    """Run a counterexample's records through the protocol monitor.
+
+    ``source`` is a path or an already-loaded :class:`TraceFile`.
+    Returns the :class:`~repro.errors.InvariantViolation` list the
+    monitor found (raising at the first one when ``strict``) — the
+    independent confirmation that the schedule the explorer flagged
+    breaks a protocol invariant.
+    """
+    from repro.obs.export import TraceFile
+    from repro.obs.monitor import ProtocolMonitor
+
+    trace_file = (
+        source if isinstance(source, TraceFile) else load_counterexample(source)
+    )
+    monitor = ProtocolMonitor(strict=strict)
+    return monitor.replay(trace_file.records)

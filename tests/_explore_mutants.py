@@ -1,0 +1,109 @@
+"""Protocol mutants reproducing the project's historical bugs.
+
+Each class reverts exactly one shipped fix, restoring a bug the stress
+harness once found in the published protocol (DESIGN.md, "Reproduction
+findings"). They exist so the bugs stay *executable*: the model checker
+re-finds each one from scratch, and the committed counterexample corpus
+(``tests/data/counterexamples/``) replays the minimal schedule through
+the runtime monitor. Not a test module — imported by the explorer and
+paper-gap tests, and by ``tools/gen_counterexamples.py``.
+"""
+
+from __future__ import annotations
+
+from repro.common import Priority
+from repro.core.faults import FaultTolerantSite
+from repro.core.messages import Transfer
+from repro.core.site import CaoSinghalSite
+from repro.errors import ProtocolError
+
+
+class PaperLiteralSite(CaoSinghalSite):
+    """C.2 with the handover-inquire fix reverted (the paper verbatim).
+
+    When a release installs a transfer beneficiary as the new lock
+    holder while a higher-priority request heads the queue, the paper
+    sends only the tenure-opening transfer — never an inquire — so the
+    head defers forever: some interleaving deadlocks (corpus entry
+    ``c2_handover_deadlock``).
+    """
+
+    def _handle_release(self, src, msg):
+        arb = self.arbiter
+        if arb.lock != msg.releaser:
+            if msg.releaser in arb.req_queue:
+                self._pending_releases[msg.releaser] = msg
+                return
+            raise ProtocolError("unmatched release")
+        if msg.transferred_to is not None:
+            beneficiary = msg.transferred_to
+            if not arb.req_queue.remove(beneficiary):
+                raise ProtocolError("missing beneficiary")
+            arb.install(beneficiary)
+            stashed = self._pending_releases.pop(beneficiary, None)
+            if stashed is not None:
+                self._handle_release(beneficiary.site, stashed)
+                return
+            head = arb.req_queue.head()
+            if head is not None and self.enable_transfer:
+                # The paper sends only the transfer — never an inquire,
+                # even when `head` outranks the new holder.
+                self.send(
+                    beneficiary.site,
+                    Transfer(
+                        beneficiary=head,
+                        arbiter=self.site_id,
+                        holder=beneficiary,
+                        holder_epoch=arb.epoch,
+                    ),
+                )
+            return
+        if not arb.req_queue:
+            arb.lock = Priority.maximum()
+            return
+        new_lock = arb.req_queue.pop_head()
+        arb.install(new_lock)
+        self._grant(new_lock)
+
+
+class EpochBlindSite(CaoSinghalSite):
+    """A.5 with the tenure-epoch fix reverted (the paper's staleness
+    checks only).
+
+    The paper discards stale control traffic by request timestamp plus
+    channel FIFO. Once replies travel through proxies that is not
+    enough: a ``transfer`` issued during a holder's *first* tenure at an
+    arbiter can be delivered after that holder yields and re-acquires
+    the same arbiter — same request timestamp, same holder — and
+    honouring it forwards the permission toward an already-served
+    request, faulting the arbiter or double-granting (corpus entry
+    ``cross_tenure_transfer``).
+    """
+
+    def _record_transfer(self, msg: Transfer) -> None:
+        if self.req.priority is None or msg.holder != self.req.priority:
+            return  # outdated transfer (we already released this arbiter)
+        if not self.req.replied.get(msg.arbiter):
+            return  # outdated: we yielded (or never got) this permission
+        # Missing here: the grant-epoch comparison that rejects relics of
+        # an earlier tenure of this very permission (yield-and-reacquire).
+        self.req.tran_stack.push(msg)
+
+
+class NoRejoinSite(FaultTolerantSite):
+    """Crash recovery with the rejoin reconciliation round reverted.
+
+    Before the round existed, a crash-recovered site resumed its arbiter
+    role straight from the rebuilt (free) lock. Its pre-crash permission
+    can still be held by a live site — even one inside the CS, when the
+    whole crash/recover cycle fits inside one CS residency — so the
+    fresh arbiter double-grants. The model checker found the overlap in
+    an 8-action schedule under a one-crash/one-recovery budget.
+    """
+
+    def reset_after_recovery(self, known_failed=None):
+        super().reset_after_recovery(known_failed=known_failed)
+        # Abandon the round: late acks are dropped as stale, and with no
+        # peers awaited the arbiter grants immediately (old behaviour).
+        self._rejoin_waiting = set()
+        self._rejoin_deferred = []

@@ -212,3 +212,74 @@ def test_regress_command_errors_without_results(tmp_path):
         ]
     )
     assert code == 2
+
+
+def test_explore_command_clean_complete(capsys):
+    code = main(
+        ["explore", "--quorums", "2;2;2", "--requests", "1,1,0"]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "complete, no violation" in out
+
+
+def test_explore_command_budget_exhausted_exit_code(capsys):
+    code = main(
+        [
+            "explore", "--quorums", "2;2;2", "--requests", "1,1,0",
+            "--max-states", "30",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 3
+    assert "explored 30 states" in out
+    assert "budget exhausted" in out
+
+
+def test_explore_command_with_fault_budget(capsys):
+    code = main(
+        [
+            "explore", "--quorums", "2;2;2", "--requests", "1,1,0",
+            "--crashes", "1", "--recoveries", "1",
+            "--max-states", "500000",
+        ]
+    )
+    assert code == 0
+    assert "no violation" in capsys.readouterr().out
+
+
+def test_explore_command_registered_quorum_construction(capsys):
+    code = main(
+        [
+            "explore", "--quorum", "majority", "-n", "3",
+            "--requests", "1,1,0",
+        ]
+    )
+    assert code == 0
+
+
+def test_explore_command_counterexample_export(tmp_path, capsys, monkeypatch):
+    """A protocol mutant drives the full CLI pipeline: find, shrink,
+    export, and the exported file replays to the monitor verdict."""
+    from _explore_mutants import PaperLiteralSite
+
+    import repro.verify.explore as ex
+
+    monkeypatch.setattr(
+        ex,
+        "_ExploreSite",
+        type("CliMutant", (ex._ExploreSite, PaperLiteralSite), {}),
+    )
+    out_path = tmp_path / "cex.jsonl"
+    code = main(
+        [
+            "explore", "--quorums", "3,4;3,4;3,4;3;4",
+            "--requests", "1,1,1,0,0", "--max-states", "3000000",
+            "--out", str(out_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "counterexample: DeadlockError" in out
+    violations = ex.replay_counterexample(str(out_path))
+    assert [v.invariant for v in violations] == ["deadlock"]

@@ -49,10 +49,13 @@ def test_no_transfer_variant_also_safe():
     assert result.complete
 
 
-def test_state_budget_reports_incomplete():
+def test_state_budget_is_exact():
+    """``max_states`` is a hard, exact cap: the search expands exactly
+    that many distinct states before giving up (the first-generation
+    explorer overshot by one — the check ran after the increment)."""
     result = explore([{0, 1}, {0, 1}], max_states=50)
     assert not result.complete
-    assert result.states_explored == 51
+    assert result.states_explored == 50
 
 
 def test_build_world_validates_request_vector():

@@ -1,0 +1,159 @@
+"""Fault actions in the model checker's exploration alphabet.
+
+The explorer quantifies over crash/recover and link cut/heal schedules
+(the untimed projection of the chaos engine's vocabulary, bounded per
+schedule by :class:`~repro.ft.chaos.FaultBudget`). These tests pin:
+
+* the fault-tolerant protocol survives exhaustive fault interleaving on
+  small configurations — every crash point, every recovery point, every
+  detection ordering;
+* the rejoin reconciliation round is load-bearing: reverting it
+  (``NoRejoinSite``) lets the checker re-find the double-grant;
+* budget plumbing — validation, the timed-plan projection, and the
+  guard against crashing non-fault-tolerant sites.
+"""
+
+from __future__ import annotations
+
+import pytest
+from _explore_mutants import NoRejoinSite
+
+import repro.verify.explore as ex
+from repro.errors import ConfigurationError, MutualExclusionViolation
+from repro.ft.chaos import FaultBudget, FaultPlan
+
+#: Smallest interesting fault topology: two requesters arbitrated by a
+#: third site. Crashing the arbiter mid-tenure is the hard case.
+TINY = ([{2}, {2}, {2}], [1, 1, 0])
+
+
+def test_crash_recover_cycle_explores_clean():
+    """One full crash/detect/recover/readmit cycle, any interleaving.
+
+    This is the schedule family that exposed the rejoin double-grant:
+    with the reconciliation round in place the whole space must be
+    explorable to completion with no violation.
+    """
+    quorums, requests = TINY
+    result = ex.explore(
+        quorums,
+        requests,
+        fault_budget=FaultBudget(crashes=1, recoveries=1),
+        max_states=500_000,
+    )
+    assert result.complete
+    # The fault alphabet multiplies the failure-free space many times
+    # over; a suspiciously small count would mean the budget never fired.
+    failure_free = ex.explore(quorums, requests, max_states=500_000)
+    assert result.states_explored > 10 * failure_free.states_explored
+
+
+def test_permanent_crash_explores_clean():
+    """A crash with no recovery: cleanup must free every wedged arbiter."""
+    quorums, requests = TINY
+    result = ex.explore(
+        quorums,
+        requests,
+        fault_budget=FaultBudget(crashes=1),
+        max_states=500_000,
+    )
+    assert result.complete
+
+
+def test_inaccessible_requester_releases_late_grants():
+    """A crash that kills the only quorum must not wedge live arbiters.
+
+    With the single shared quorum ``{1, 2}``, crashing either member
+    leaves the surviving requesters inaccessible; a grant that still
+    reaches one of them must bounce back (ghost-release) instead of
+    being hoarded, or the terminal check reports residual arbiter state.
+    """
+    result = ex.explore(
+        [{1, 2}, {1, 2}, {1, 2}],
+        [1, 1, 0],
+        fault_budget=FaultBudget(crashes=1),
+        max_states=500_000,
+    )
+    assert result.complete
+
+
+def test_link_cut_and_heal_explores_clean():
+    """Cut/heal of a requester-to-arbiter channel at every point."""
+    quorums, requests = TINY
+    result = ex.explore(
+        quorums,
+        requests,
+        fault_budget=FaultBudget(cuts=1, cut_links=((0, 2),)),
+        max_states=500_000,
+    )
+    assert result.complete
+
+
+def test_rejoin_round_is_load_bearing():
+    """Reverting the rejoin reconciliation re-exposes the double-grant.
+
+    A recovered arbiter that grants straight from its rebuilt free lock
+    overlaps the pre-crash holder's CS residency; the checker must find
+    the mutual-exclusion violation (historically an 8-action schedule:
+    grant, crash, detect, recover, readmit, grant again).
+    """
+    quorums, requests = TINY
+    site_cls = type(
+        "ExploreNoRejoinSite", (ex._ExploreFTSite, NoRejoinSite), {}
+    )
+    with pytest.raises(ex.CounterexampleFound) as exc_info:
+        ex.explore(
+            quorums,
+            requests,
+            fault_budget=FaultBudget(crashes=1, recoveries=1),
+            max_states=500_000,
+            keep_paths=True,
+            site_cls=site_cls,
+        )
+    assert isinstance(exc_info.value.cause, MutualExclusionViolation)
+    # The schedule must actually exercise the crash/recovery machinery.
+    kinds = {kind for kind, _ in exc_info.value.path}
+    assert {"crash", "detect", "recover", "readmit"} <= kinds
+
+
+def test_crash_budget_requires_fault_tolerant_sites():
+    quorums, requests = TINY
+    with pytest.raises(ConfigurationError):
+        ex.explore(
+            quorums,
+            requests,
+            fault_budget=FaultBudget(crashes=1),
+            site_cls=ex._ExploreSite,
+        )
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(crashes=-1),
+        dict(crashes=1, recoveries=2),
+        dict(cuts=1),  # no cut_links to draw from
+        dict(cuts=1, cut_links=((2, 2),)),
+        dict(cuts=1, cut_links=((3, 1),)),  # not normalized
+    ],
+)
+def test_fault_budget_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        FaultBudget(**kwargs)
+
+
+def test_fault_budget_from_timed_plan():
+    """The untimed projection keeps crash counts and cut endpoints."""
+    plan = (
+        FaultPlan()
+        .crash(2, crash_at=1.0, recover_at=5.0)
+        .crash(1, crash_at=9.0)
+        .link_cut(3, 0, start=2.0, end=4.0)
+        .loss_burst(0.0, 1.0, 0.5)  # vanishes: delivery choice covers it
+    )
+    budget = FaultBudget.from_plan(plan)
+    assert budget.crashes == 2
+    assert budget.recoveries == 1
+    assert budget.cuts == 1
+    assert budget.cut_links == ((0, 3),)
+    assert budget.crash_sites == (1, 2)

@@ -22,56 +22,14 @@ import os
 
 import pytest
 
-from repro.common import Priority
-from repro.core.messages import Release, Transfer
+from _explore_mutants import PaperLiteralSite
 from repro.core.site import CaoSinghalSite
-from repro.errors import DeadlockError, ProtocolError
+from repro.errors import DeadlockError
 from repro.metrics.collector import MetricsCollector
 from repro.quorums.registry import make_quorum_system
 from repro.sim.network import ExponentialDelay
 from repro.sim.simulator import Simulator
 from repro.verify.invariants import check_progress
-
-
-class PaperLiteralSite(CaoSinghalSite):
-    """C.2 with the handover-inquire fix reverted (the paper verbatim)."""
-
-    def _handle_release(self, src, msg):
-        arb = self.arbiter
-        if arb.lock != msg.releaser:
-            if msg.releaser in arb.req_queue:
-                self._pending_releases[msg.releaser] = msg
-                return
-            raise ProtocolError("unmatched release")
-        if msg.transferred_to is not None:
-            beneficiary = msg.transferred_to
-            if not arb.req_queue.remove(beneficiary):
-                raise ProtocolError("missing beneficiary")
-            arb.install(beneficiary)
-            stashed = self._pending_releases.pop(beneficiary, None)
-            if stashed is not None:
-                self._handle_release(beneficiary.site, stashed)
-                return
-            head = arb.req_queue.head()
-            if head is not None and self.enable_transfer:
-                # The paper sends only the transfer — never an inquire,
-                # even when `head` outranks the new holder.
-                self.send(
-                    beneficiary.site,
-                    Transfer(
-                        beneficiary=head,
-                        arbiter=self.site_id,
-                        holder=beneficiary,
-                        holder_epoch=arb.epoch,
-                    ),
-                )
-            return
-        if not arb.req_queue:
-            arb.lock = Priority.maximum()
-            return
-        new_lock = arb.req_queue.pop_head()
-        arb.install(new_lock)
-        self._grant(new_lock)
 
 
 def run_sim(site_cls, seed=0, n=5, rps=8):

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Regenerate the counterexample corpus in ``tests/data/counterexamples/``.
+
+Each corpus entry is a historical bug kept executable: the model checker
+re-finds the bug in the matching protocol mutant
+(``tests/_explore_mutants.py``), shrinks the schedule to a 1-minimal
+action path, and exports it as monitor-replayable ``repro-trace/1``
+JSONL. The committed files are regression pins —
+``tests/test_explore_counterexamples.py`` replays them through
+:class:`~repro.obs.monitor.ProtocolMonitor` and asserts the expected
+invariant verdict — so regenerate only when the explorer's action
+vocabulary or the trace schema changes, and re-run that test after.
+
+Usage::
+
+    PYTHONPATH=src:tests python tools/gen_counterexamples.py [outdir]
+
+Exploration is deterministic (the action menu is sorted, the search
+order fixed), so repeated runs produce identical files.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from _explore_mutants import EpochBlindSite, PaperLiteralSite
+
+import repro.verify.explore as ex
+
+#: The counterexample topology both historical bugs live in: three
+#: requesters sharing two single-site arbiters (the smallest shape with
+#: cross-arbiter forwarding chains).
+QUORUMS = [{3, 4}, {3, 4}, {3, 4}, {3}, {4}]
+REQUESTS = [1, 1, 1, 0, 0]
+
+CORPUS = [
+    {
+        "name": "c2_handover_deadlock",
+        "mutant": PaperLiteralSite,
+        "expected_cause": "DeadlockError",
+        "expected_invariant": "deadlock",
+    },
+    {
+        "name": "cross_tenure_transfer",
+        "mutant": EpochBlindSite,
+        "expected_cause": "ProtocolError",
+        "expected_invariant": "transfer-not-honoured",
+    },
+]
+
+
+def generate(entry: dict, outdir: Path) -> Path:
+    site_cls = type(
+        f"Explore{entry['mutant'].__name__}",
+        (ex._ExploreSite, entry["mutant"]),
+        {},
+    )
+    try:
+        ex.explore(
+            QUORUMS,
+            REQUESTS,
+            max_states=3_000_000,
+            keep_paths=True,
+            site_cls=site_cls,
+        )
+    except ex.CounterexampleFound as cex:
+        cause = cex.cause
+        path = cex.path
+    else:
+        raise SystemExit(
+            f"{entry['name']}: the mutant explored clean — the bug this "
+            "corpus entry pins no longer reproduces"
+        )
+    if type(cause).__name__ != entry["expected_cause"]:
+        raise SystemExit(
+            f"{entry['name']}: expected {entry['expected_cause']}, "
+            f"explorer raised {type(cause).__name__}: {cause}"
+        )
+    out = outdir / f"{entry['name']}.jsonl"
+    count = ex.export_counterexample(
+        str(out),
+        QUORUMS,
+        path,
+        cause,
+        REQUESTS,
+        site_cls=site_cls,
+        shrink=True,
+    )
+    verdicts = [v.invariant for v in ex.replay_counterexample(str(out))]
+    if entry["expected_invariant"] not in verdicts:
+        raise SystemExit(
+            f"{entry['name']}: monitor replay found {verdicts}, "
+            f"expected {entry['expected_invariant']}"
+        )
+    meta = ex.load_counterexample(str(out)).meta
+    print(
+        f"{out.name}: {count} records, {len(meta['path'])}-action shrunk "
+        f"path, cause {meta['cause']}, monitor verdict {verdicts}"
+    )
+    return out
+
+
+def main() -> None:
+    default = Path(__file__).resolve().parent.parent / (
+        "tests/data/counterexamples"
+    )
+    outdir = Path(sys.argv[1]) if len(sys.argv) > 1 else default
+    outdir.mkdir(parents=True, exist_ok=True)
+    for entry in CORPUS:
+        generate(entry, outdir)
+
+
+if __name__ == "__main__":
+    main()
