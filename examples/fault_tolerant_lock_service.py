@@ -16,10 +16,19 @@ The run demonstrates the Section 6 claims:
 * after a failure, live sites' pending and future requests still complete;
 * mutual exclusion holds through the failures and the recovery.
 
-Run: ``python examples/fault_tolerant_lock_service.py``
+The same sites run on either execution substrate:
+
+* ``--substrate sim`` (default) — the discrete-event simulator;
+* ``--substrate net`` — every site on its own asyncio UDP socket with
+  real wall-clock timers, heartbeats as actual datagrams, and the crash
+  observed only through the silence it causes.
+
+Run: ``python examples/fault_tolerant_lock_service.py [--substrate net]``
 """
 
 from __future__ import annotations
+
+import argparse
 
 from repro.ft import MonitoredSite
 from repro.metrics.collector import MetricsCollector
@@ -30,14 +39,11 @@ from repro.verify import check_mutual_exclusion
 N_SITES = 15
 REQUESTS_PER_SITE = 4
 CRASHES = {0: 12.0, 9: 30.0}  # site -> crash time (site 0 is the tree root)
+HORIZON = 400.0  # time units
 
 
-def main() -> None:
-    quorums = TreeQuorumSystem(N_SITES)
-    sim = Simulator(seed=11, delay_model=ConstantDelay(1.0))
-    metrics = MetricsCollector()
-
-    sites = [
+def build_sites(quorums: TreeQuorumSystem, metrics: MetricsCollector):
+    return [
         MonitoredSite(
             i,
             quorums,
@@ -49,20 +55,115 @@ def main() -> None:
         )
         for i in range(N_SITES)
     ]
+
+
+def run_sim(sites, sim_seed: int = 11) -> float:
+    """Drive the crash scenario on the discrete-event simulator."""
+    sim = Simulator(seed=sim_seed, delay_model=ConstantDelay(1.0))
     for site in sites:
         sim.add_node(site)
         for _ in range(REQUESTS_PER_SITE):
             sim.schedule(0.0, site.submit_request)
-
     for victim, at in CRASHES.items():
         sim.schedule(at, lambda v=victim: sim.crash(v), label=f"crash:{victim}")
+    sim.start()
+    sim.run(until=HORIZON)
+    return sim.now
+
+
+def run_net(sites, unit: float = 0.02) -> float:
+    """Drive the same scenario over real asyncio UDP sockets.
+
+    Every site gets its own :class:`~repro.net.substrate.NetSubstrate`
+    (own socket, own reliable channels) inside one asyncio loop; timers
+    are wall-clock, heartbeats are datagrams, and the crashed sites go
+    silent for real — their peers' detectors find out the honest way.
+    """
+    import asyncio
+    import time
+
+    from repro.net.config import NetRunConfig
+    from repro.net.substrate import NetSubstrate
+
+    config = NetRunConfig(
+        n_sites=N_SITES,
+        seed=11,
+        requests_per_site=REQUESTS_PER_SITE,
+        cs_duration=0.3,
+        unit=unit,
+        deadline=HORIZON * unit + 30.0,
+    )
+    last_crash = max(CRASHES.values())
+
+    async def drive() -> float:
+        substrates = []
+        for site in sites:
+            substrate = NetSubstrate(site.site_id, config)
+            substrate.add_node(site)
+            substrate.install_transport(config.reliable_config())
+            substrates.append(substrate)
+        try:
+            addresses = {}
+            for substrate in substrates:
+                addresses[substrate.site_id] = (
+                    config.host,
+                    await substrate.start(),
+                )
+            epoch = time.time() + 0.05
+            for substrate in substrates:
+                substrate.configure(addresses, epoch)
+            await asyncio.sleep(0.05)
+            for substrate, site in zip(substrates, sites):
+                substrate.start_nodes()
+                for _ in range(REQUESTS_PER_SITE):
+                    substrate.schedule_call(
+                        0.0, site.submit_request, (), "submit"
+                    )
+            for victim, at in CRASHES.items():
+                substrates[victim].schedule_call(
+                    at, substrates[victim].crash, (victim,), f"crash:{victim}"
+                )
+            clock = substrates[0]
+            while clock.now < HORIZON:
+                if clock.now > last_crash + 10.0 and all(
+                    not site.has_work
+                    for site in sites
+                    if site.site_id not in CRASHES
+                ):
+                    break
+                await asyncio.sleep(0.02)
+            return clock.now
+        finally:
+            for substrate in substrates:
+                substrate.close()
+
+    return asyncio.run(drive())
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--substrate", choices=("sim", "net"), default="sim",
+        help="discrete-event simulator or real asyncio UDP sockets",
+    )
+    parser.add_argument(
+        "--unit", type=float, default=0.02,
+        help="net substrate: wall seconds per time unit",
+    )
+    args = parser.parse_args()
+
+    quorums = TreeQuorumSystem(N_SITES)
+    metrics = MetricsCollector()
+    sites = build_sites(quorums, metrics)
 
     print(f"lock service: {N_SITES} sites, tree quorums "
-          f"(K = {quorums.mean_quorum_size():.1f}); "
-          f"crashing root at t=12 and site 9 at t=30\n")
+          f"(K = {quorums.mean_quorum_size():.1f}) on the {args.substrate} "
+          f"substrate; crashing root at t=12 and site 9 at t=30\n")
 
-    sim.start()
-    sim.run(until=400.0)
+    if args.substrate == "sim":
+        now = run_sim(sites)
+    else:
+        now = run_net(sites, unit=args.unit)
 
     check_mutual_exclusion(metrics.records)
     victims = set(CRASHES)
@@ -70,7 +171,7 @@ def main() -> None:
     live_unserved = [
         r for r in metrics.records if not r.complete and r.site not in victims
     ]
-    print(f"served {served} lock acquisitions by t={sim.now:.0f}")
+    print(f"served {served} lock acquisitions by t={now:.0f}")
     print(f"unserved requests at live sites: {len(live_unserved)} (must be 0)")
     assert not live_unserved
 

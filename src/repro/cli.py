@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     repro run  --algorithm cao-singhal --sites 25 --quorum grid ...
     repro run  --trials 30 --workers 4 --cache   # seed fan-out, cached
@@ -8,6 +8,7 @@ Five subcommands::
     repro trace -a cao-singhal --out run.jsonl   # monitored run, JSONL trace
     repro regress --baseline benchmarks/results --current fresh/  # bench gate
     repro explore --quorums "3,4;3,4;3,4;3;4" --crashes 1  # model checker
+    repro net run --algo cao --sites 9           # real asyncio UDP processes
 
 (Invoke as ``python -m repro.cli`` when the console script is not on
 PATH.)
@@ -84,6 +85,20 @@ def _delay_model(spec: str):
     if kind in ("exp", "exponential"):
         return ExponentialDelay(*(args or [1.0]))
     raise argparse.ArgumentTypeError(f"unknown delay model {spec!r}")
+
+
+#: Friendly shorthands accepted wherever an algorithm name is typed.
+_ALGO_ALIASES = {"cao": "cao-singhal"}
+
+
+def _algorithm(name: str) -> str:
+    """Resolve an algorithm name or alias, argparse-friendly."""
+    name = _ALGO_ALIASES.get(name, name)
+    if name not in algorithm_names():
+        raise argparse.ArgumentTypeError(
+            f"unknown algorithm {name!r}; known: {', '.join(algorithm_names())}"
+        )
+    return name
 
 
 def _add_scenario_args(run_p: argparse.ArgumentParser) -> None:
@@ -269,6 +284,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", "-o", default=None, metavar="PATH",
         help="on a counterexample, write the shrunk schedule as "
         "monitor-replayable repro-trace/1 JSONL ('-' for stdout)",
+    )
+
+    net_p = sub.add_parser(
+        "net",
+        help="real-network execution: the same sites on asyncio UDP sockets",
+    )
+    net_sub = net_p.add_subparsers(dest="net_command", required=True)
+    net_run = net_sub.add_parser(
+        "run",
+        help="run one site process per site on localhost UDP, merge the "
+        "per-site traces, and verify them with the protocol monitor",
+    )
+    net_run.add_argument(
+        "--algo", "--algorithm", "-a", dest="algorithm", type=_algorithm,
+        default="cao-singhal",
+        help=f"algorithm name ({', '.join(algorithm_names())}; "
+        "'cao' is shorthand for cao-singhal)",
+    )
+    net_run.add_argument("--sites", "-n", type=int, default=5)
+    net_run.add_argument(
+        "--quorum", "-q", default=None, choices=quorum_system_names(),
+        help="quorum construction for quorum algorithms (default grid)",
+    )
+    net_run.add_argument("--seed", type=int, default=0)
+    net_run.add_argument(
+        "--requests", "-r", type=int, default=3, metavar="R",
+        help="saturation workload: R back-to-back requests per site",
+    )
+    net_run.add_argument("--cs-duration", type=float, default=0.05)
+    net_run.add_argument(
+        "--unit", type=float, default=0.02, metavar="SECS",
+        help="wall-clock seconds per simulation time unit",
+    )
+    net_run.add_argument(
+        "--loss", type=float, default=0.0, metavar="P",
+        help="per-datagram drop probability injected below the reliable "
+        "layer",
+    )
+    net_run.add_argument(
+        "--dup", type=float, default=0.0, metavar="P",
+        help="per-datagram duplication probability",
+    )
+    net_run.add_argument("--chaos-seed", type=int, default=0)
+    net_run.add_argument(
+        "--reliable", action=argparse.BooleanOptionalAction, default=True,
+        help="reliable-channel layer (UDP guarantees neither delivery "
+        "nor order, so disabling it is only safe on a quiet localhost)",
+    )
+    net_run.add_argument(
+        "--spawn", choices=("process", "inproc"), default="process",
+        help="one OS process per site, or every site in this process "
+        "(own sockets either way)",
+    )
+    net_run.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="run directory for traces and rendezvous files "
+        "(default: a fresh temp dir)",
+    )
+    net_run.add_argument(
+        "--deadline", type=float, default=60.0, metavar="SECS",
+        help="hard wall-clock cap on the whole run",
+    )
+    net_run.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
     )
 
     exp_p = sub.add_parser(
@@ -573,6 +652,57 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0 if result.complete else 3
 
 
+def cmd_net(args: argparse.Namespace) -> int:
+    """``repro net run``: a verified real-network execution."""
+    # Imported here: the net package pulls in asyncio machinery no other
+    # subcommand needs.
+    from repro.net import NetRunConfig, run_net
+
+    config = NetRunConfig(
+        algorithm=args.algorithm,
+        n_sites=args.sites,
+        quorum=args.quorum,
+        seed=args.seed,
+        requests_per_site=args.requests,
+        cs_duration=args.cs_duration,
+        unit=args.unit,
+        reliable=args.reliable,
+        loss=args.loss,
+        duplicate=args.dup,
+        chaos_seed=args.chaos_seed,
+        deadline=args.deadline,
+    )
+    report = run_net(config, run_dir=args.run_dir, spawn=args.spawn)
+    if args.json:
+        import dataclasses as _dc
+        import json as _json
+
+        print(_json.dumps(_dc.asdict(report), indent=2, sort_keys=True))
+    else:
+        c = report.message_complexity_c
+        print(
+            f"{report.algorithm} x {report.n_sites} sites "
+            f"({report.spawn} spawn): {report.completed}/{report.submitted} "
+            f"CS completions in {report.wall_seconds:.2f}s wall"
+        )
+        print(
+            f"  protocol messages: {report.messages_sent} "
+            f"({report.messages_per_cs:.2f}/CS"
+            + (f", c = {c:.2f} per quorum member)" if c is not None else ")")
+        )
+        print(f"  merged trace: {report.merged_path}")
+        if report.violations:
+            print(f"  VIOLATIONS ({len(report.violations)}):")
+            for v in report.violations:
+                print(f"    {v}")
+        else:
+            print(
+                "  monitor verdict: clean (mutual exclusion, single-grant "
+                "arbiters, transfer-honoured, quorum consistency)"
+            )
+    return 0 if report.clean else 1
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
     env_workers = os.environ.get(WORKERS_ENV)
@@ -627,6 +757,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_explore(args)
     if args.command == "experiment":
         return cmd_experiment(args)
+    if args.command == "net":
+        return cmd_net(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

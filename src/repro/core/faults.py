@@ -80,7 +80,7 @@ from repro.core.messages import (
 from repro.core.site import CaoSinghalSite
 from repro.mutex.base import DurationSpec, RunListener, SiteState
 from repro.quorums.coterie import QuorumSystem
-from repro.sim.node import SiteId
+from repro.substrate import SiteId
 
 
 class FaultTolerantSite(CaoSinghalSite):

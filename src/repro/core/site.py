@@ -65,7 +65,7 @@ from repro.core.state import ArbiterState, RequesterState
 from repro.errors import ProtocolError
 from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
 from repro.common import Priority, bundle_or_single
-from repro.sim.node import SiteId
+from repro.substrate import SiteId
 
 
 class CaoSinghalSite(MutexSite):

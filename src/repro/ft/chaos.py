@@ -32,7 +32,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.sim.node import SiteId
+from repro.substrate import SiteId
 from repro.sim.simulator import Simulator
 
 

@@ -21,7 +21,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Optional, Set
 
 from repro.errors import ConfigurationError
-from repro.sim.node import Node, SiteId
+from repro.sim.node import Node
+from repro.substrate import SiteId
 
 
 @dataclass(frozen=True)

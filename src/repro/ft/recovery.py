@@ -24,7 +24,7 @@ from repro.errors import ConfigurationError
 from repro.ft.detector import Heartbeat, HeartbeatMonitor
 from repro.mutex.base import DurationSpec, RunListener
 from repro.quorums.coterie import QuorumSystem
-from repro.sim.node import SiteId
+from repro.substrate import SiteId
 from repro.sim.simulator import Simulator
 
 

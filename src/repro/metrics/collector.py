@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from repro.errors import ProtocolError
 from repro.mutex.base import RunListener
-from repro.sim.node import SiteId
+from repro.substrate import SiteId
 
 
 @dataclass

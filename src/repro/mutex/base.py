@@ -15,7 +15,8 @@ import enum
 from typing import Callable, Optional, Union
 
 from repro.errors import ProtocolError
-from repro.sim.node import Node, SiteId
+from repro.sim.node import Node
+from repro.substrate import SiteId
 
 #: CS hold time: a constant, a zero-argument sampler, or ``None`` for a
 #: manual hold (the application calls :meth:`MutexSite.release_cs` itself,

@@ -19,7 +19,7 @@ from typing import Dict, Optional
 from repro.core.state import RequestQueue
 from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
 from repro.common import Priority
-from repro.sim.node import SiteId
+from repro.substrate import SiteId
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,7 @@ from repro.core.state import ArbiterState
 from repro.errors import ProtocolError
 from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
 from repro.common import Priority
-from repro.sim.node import SiteId
+from repro.substrate import SiteId
 
 
 @dataclass(frozen=True)

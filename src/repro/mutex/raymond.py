@@ -18,7 +18,7 @@ from typing import List, Optional
 
 from repro.errors import ProtocolError
 from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
-from repro.sim.node import SiteId
+from repro.substrate import SiteId
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,7 @@ from typing import List, Optional
 
 from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
 from repro.common import Priority
-from repro.sim.node import SiteId
+from repro.substrate import SiteId
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,170 @@
+"""Run description shared by the launcher and every site process.
+
+A :class:`NetRunConfig` is the single source of truth for one real-network
+run: the launcher writes it to ``<run_dir>/config.json`` before spawning
+anything, and each ``repro.net.site_proc`` child reconstructs its site
+from that file plus its own ``--site`` index. Keeping the config a flat
+JSON-serializable dataclass (no live objects) is what makes the
+process-per-site model work — the only things crossing the process
+boundary are this file, the address book, and datagrams.
+
+Time scaling: the protocol stack thinks in simulation units (mean one-way
+latency ``T`` = 1.0 under the default delay models). On the wire, one
+unit maps to :attr:`NetRunConfig.unit` wall-clock seconds; timers and the
+substrate clock apply the factor, so ``ReliableConfig.rto = 4.0`` means
+"4 units" on both substrates and the algorithms never see wall seconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.mutex.registry import get_algorithm_spec
+from repro.sim.transport import ReliableConfig
+
+
+@dataclass(frozen=True)
+class NetRunConfig:
+    """Everything one UDP run needs, JSON round-trippable.
+
+    ``quorum`` may stay ``None`` for quorum algorithms — it then resolves
+    to ``"grid"`` (the paper's default construction) exactly like the CLI
+    does; non-quorum algorithms ignore it.
+    """
+
+    algorithm: str = "cao-singhal"
+    n_sites: int = 5
+    quorum: Optional[str] = None
+    seed: int = 42
+    requests_per_site: int = 3
+    #: CS hold time in simulation units.
+    cs_duration: float = 0.05
+    #: Wall-clock seconds per simulation time unit.
+    unit: float = 0.02
+    #: Install the reliable-channel layer (strongly recommended: raw UDP
+    #: guarantees neither delivery nor order, and the protocols assume
+    #: exactly-once FIFO channels).
+    reliable: bool = True
+    #: Reliable-channel knobs, serialized field-by-field.
+    rto: float = 4.0
+    backoff: float = 2.0
+    rto_max: float = 60.0
+    max_retries: int = 12
+    ack_delay: float = 0.5
+    #: Fault injection at the datagram layer (seeded, per-site streams).
+    loss: float = 0.0
+    duplicate: float = 0.0
+    chaos_seed: int = 0
+    #: How long (in units) a drained site keeps serving arbiter/peer
+    #: duties before the launcher is allowed to stop it.
+    linger: float = 50.0
+    #: Hard wall-clock cap on the whole run, in seconds.
+    deadline: float = 60.0
+    host: str = "127.0.0.1"
+
+    def __post_init__(self) -> None:
+        if self.n_sites < 1:
+            raise ConfigurationError(
+                f"n_sites must be >= 1, got {self.n_sites}"
+            )
+        if self.requests_per_site < 1:
+            raise ConfigurationError(
+                "requests_per_site must be >= 1, got "
+                f"{self.requests_per_site}"
+            )
+        if self.unit <= 0:
+            raise ConfigurationError(f"unit must be positive, got {self.unit}")
+        if self.deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+        for name in ("cs_duration", "linger", "loss", "duplicate"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(f"{name} must be >= 0, got {value}")
+        get_algorithm_spec(self.algorithm)  # fail fast on unknown names
+
+    # -- derived pieces ----------------------------------------------------
+
+    def resolved_quorum(self) -> Optional[str]:
+        """Quorum construction name, or ``None`` for non-quorum algorithms."""
+        if not get_algorithm_spec(self.algorithm).needs_quorum:
+            return None
+        return self.quorum or "grid"
+
+    def reliable_config(self) -> ReliableConfig:
+        """The reliable-channel knobs as a :class:`ReliableConfig`."""
+        return ReliableConfig(
+            rto=self.rto,
+            backoff=self.backoff,
+            rto_max=self.rto_max,
+            max_retries=self.max_retries,
+            ack_delay=self.ack_delay,
+        )
+
+    # -- JSON round trip ---------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "NetRunConfig":
+        try:
+            row = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"bad net-run config JSON: {exc}") from exc
+        if not isinstance(row, dict):
+            raise ConfigurationError(
+                f"net-run config must be a JSON object, got {type(row).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(row) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown net-run config keys: {', '.join(unknown)}"
+            )
+        return cls(**row)
+
+    @classmethod
+    def load(cls, path) -> "NetRunConfig":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))
+
+
+# -- run-directory layout ----------------------------------------------------
+#
+# The launcher and the site processes rendezvous purely through files in
+# one run directory; these helpers are the single place the names live.
+
+
+def config_path(run_dir) -> Path:
+    return Path(run_dir) / "config.json"
+
+
+def port_path(run_dir, site: int) -> Path:
+    """Written by site ``site`` once its UDP socket is bound."""
+    return Path(run_dir) / f"port-{site}"
+
+
+def addrbook_path(run_dir) -> Path:
+    """Written by the launcher once every port file exists."""
+    return Path(run_dir) / "addrbook.json"
+
+
+def trace_path(run_dir, site: int) -> Path:
+    """Per-site ``repro-trace/1`` shard (write-through JSONL)."""
+    return Path(run_dir) / f"trace-{site}.jsonl"
+
+
+def done_path(run_dir, site: int) -> Path:
+    """Written by site ``site`` when its workload has drained."""
+    return Path(run_dir) / f"done-{site}.json"
+
+
+def merged_path(run_dir) -> Path:
+    """The merged, monitor-replayable trace the launcher produces."""
+    return Path(run_dir) / "merged.jsonl"

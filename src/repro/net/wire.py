@@ -1,0 +1,104 @@
+"""Datagram wire format for the UDP backend.
+
+One datagram carries one frame: either a protocol message (raw mode), a
+reliable-channel :class:`~repro.sim.transport.Segment` wrapping a
+protocol message, or a pure :class:`~repro.sim.transport.AckSegment`.
+Frames are JSON objects (UTF-8), reusing the tagged detail encoding of
+the ``repro-trace/1`` schema (:func:`repro.obs.export.encode_value`) for
+the protocol payload — so the wire, the trace files, and the
+counterexample corpus all speak one message codec, and every message
+class the trace layer can round-trip is transmissible as-is.
+
+Layout (short keys; a typical segment datagram is ~150 bytes):
+
+* ``{"v": 1, "s": src, "r": dst, "tn": type_name, "d": <detail>}`` —
+  a bare protocol message;
+* ``... , "seg": [seq, epoch, ack, ack_epoch]`` — the same, wrapped as a
+  reliable-channel segment;
+* ``{"v": 1, "s": src, "r": dst, "ack": [ack, epoch]}`` — a pure ack.
+
+The decoder is strict: an unknown version or shape raises
+:class:`~repro.errors.ConfigurationError`, which the receiving substrate
+logs and drops (a malformed datagram must not kill a site).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.export import decode_value, encode_value
+from repro.sim.transport import AckSegment, Segment
+from repro.substrate import SiteId
+
+#: Wire protocol version; bumped on any incompatible layout change.
+WIRE_VERSION = 1
+
+#: Generous ceiling for one datagram (localhost loopback MTU is 64 KiB).
+MAX_DATAGRAM = 60_000
+
+
+def encode_frame(src: SiteId, dst: SiteId, frame: Any, type_name: str) -> bytes:
+    """Serialize one outbound frame to datagram bytes."""
+    row: dict = {"v": WIRE_VERSION, "s": src, "r": dst}
+    if isinstance(frame, AckSegment):
+        row["ack"] = [frame.ack, frame.epoch]
+    elif isinstance(frame, Segment):
+        row["tn"] = frame.type_name
+        row["d"] = encode_value(frame.payload)
+        row["seg"] = [frame.seq, frame.epoch, frame.ack, frame.ack_epoch]
+    else:
+        row["tn"] = type_name
+        row["d"] = encode_value(frame)
+    data = json.dumps(row, separators=(",", ":")).encode("utf-8")
+    if len(data) > MAX_DATAGRAM:
+        raise ConfigurationError(
+            f"frame {type_name!r} serializes to {len(data)} bytes, over the "
+            f"{MAX_DATAGRAM}-byte datagram ceiling"
+        )
+    return data
+
+
+def decode_frame(data: bytes) -> Tuple[SiteId, SiteId, Any, str]:
+    """Deserialize datagram bytes to ``(src, dst, frame, type_name)``.
+
+    ``frame`` is a protocol message, a :class:`Segment`, or an
+    :class:`AckSegment` — exactly what
+    :meth:`~repro.sim.transport.ReliableTransport.on_network_deliver`
+    (or a raw delivery path) expects.
+    """
+    try:
+        row = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"undecodable datagram: {exc}") from exc
+    if not isinstance(row, dict) or row.get("v") != WIRE_VERSION:
+        raise ConfigurationError(
+            f"unsupported wire version {row.get('v') if isinstance(row, dict) else row!r}"
+        )
+    try:
+        src = row["s"]
+        dst = row["r"]
+        if "ack" in row:
+            ack, epoch = row["ack"]
+            return src, dst, AckSegment(ack, epoch), AckSegment.type_name
+        payload = decode_value(row["d"]) if "d" in row else None
+        type_name = row["tn"]
+        if "seg" in row:
+            seq, epoch, ack, ack_epoch = row["seg"]
+            return (
+                src,
+                dst,
+                Segment(
+                    seq=seq,
+                    epoch=epoch,
+                    ack=ack,
+                    ack_epoch=ack_epoch,
+                    payload=payload,
+                    type_name=type_name,
+                ),
+                type_name,
+            )
+        return src, dst, payload, type_name
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed frame {row!r}: {exc}") from exc

@@ -50,6 +50,7 @@ _MESSAGE_MODULES = (
     "repro.mutex.lamport",
     "repro.mutex.centralized",
     "repro.mutex.singhal_heuristic",
+    "repro.mutex.roucairol_carvalho",
     "repro.ft.detector",
     "repro.replication.messages",
 )
@@ -154,6 +155,19 @@ def _decode_detail(value: Any) -> Any:
     if "$r" in value:
         return Opaque(value["$r"])
     raise ConfigurationError(f"unrecognized detail encoding: {value!r}")
+
+
+def encode_value(value: Any) -> Any:
+    """Encode one detail value (message, Priority, tuple, scalar) to the
+    JSON-ready tagged form. Public entry point for other serializers —
+    the UDP wire format in :mod:`repro.net.wire` reuses it so datagrams
+    and trace records share one message codec."""
+    return _encode_detail(value)
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    return _decode_detail(value)
 
 
 def encode_record(rec: TraceRecord) -> str:

@@ -34,7 +34,7 @@ from repro.core.site import CaoSinghalSite
 from repro.mutex.base import RunListener
 from repro.replication.messages import Version
 from repro.replication.replica import ReplicaRole
-from repro.sim.node import SiteId
+from repro.substrate import SiteId
 
 #: An update function: old value -> new value.
 UpdateFn = Callable[[Any], Any]

@@ -38,7 +38,8 @@ from repro.replication.messages import (
     WriteReq,
     ZERO_VERSION,
 )
-from repro.sim.node import Node, SiteId
+from repro.sim.node import Node
+from repro.substrate import SiteId
 
 #: Completion callbacks: read -> (value, version); write -> version.
 ReadCallback = Callable[[Any, Version], None]

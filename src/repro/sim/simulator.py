@@ -192,6 +192,49 @@ class Simulator:
             )
         return self._queue.push(time, fn, args, label)
 
+    # -- substrate send path ---------------------------------------------------
+
+    def send(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        message: Any,
+        type_name: str,
+        piggybacked: bool = False,
+    ) -> None:
+        """Accept one protocol message from a node (substrate interface).
+
+        Routes through the reliable-channel transport when one is
+        installed, else straight to the raw network — the transport
+        selection that used to live in :meth:`repro.sim.node.Node.send`,
+        hoisted here so nodes depend only on the substrate interface.
+        """
+        transport = self.transport
+        if transport is not None:
+            transport.send(src, dst, message, type_name, piggybacked)
+            return
+        self.network.send(src, dst, message, type_name, piggybacked)
+
+    def raw_send(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        frame: Any,
+        type_name: str,
+        piggybacked: bool = False,
+    ) -> None:
+        """Put one frame on the modelled network, bypassing the transport
+        (the reliable-channel layer's down-call)."""
+        self.network.send(src, dst, frame, type_name, piggybacked)
+
+    def is_crashed(self, site: SiteId) -> bool:
+        """True if hosted ``site`` is currently crashed (substrate API)."""
+        return self.nodes[site].crashed
+
+    def rng(self, name: str) -> Any:
+        """Named deterministic RNG stream derived from the run seed."""
+        return self.seeds.derive(name)
+
     # -- delivery ------------------------------------------------------------
 
     def _dispatch(self, src: SiteId, dst: SiteId, payload: Any) -> None:

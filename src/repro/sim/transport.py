@@ -3,10 +3,15 @@
 The paper (like most mutual-exclusion papers) simply *assumes* reliable
 FIFO channels. This module discharges that assumption: a
 :class:`ReliableTransport` sits between :meth:`repro.sim.node.Node.send`
-and the raw :class:`~repro.sim.network.Network` and rebuilds exactly-once
-FIFO delivery over a transport that may drop, duplicate, or reorder
-(see :class:`~repro.sim.network.FaultModel`), using the textbook
-machinery (Aspnes, *Notes on Theory of Distributed Systems*, ch. 29):
+and the raw wire and rebuilds exactly-once FIFO delivery over a
+transport that may drop, duplicate, or reorder, using the textbook
+machinery (Aspnes, *Notes on Theory of Distributed Systems*, ch. 29).
+The layer is written against the :class:`~repro.substrate.Substrate`
+interface (``raw_send`` down, ``deliver_protocol`` up, ``schedule_call``
+for timers), so the *same* implementation serves both the simulated
+network — where :class:`~repro.sim.network.FaultModel` injects the
+faults — and the real asyncio UDP backend in :mod:`repro.net`, where the
+faults are real (or injected at the datagram layer). The machinery:
 
 * **Sequence numbers** per directed channel, carried by every
   :class:`Segment`;
@@ -44,10 +49,9 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Tuple
 
 from repro.common import slotted_dataclass
 from repro.errors import ConfigurationError
-from repro.sim.event import Event
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from repro.sim.simulator import Simulator
+    from repro.substrate import Substrate, TimerHandle
 
 SiteId = int
 Channel = Tuple[SiteId, SiteId]
@@ -183,7 +187,7 @@ class _SendState:
         self.unacked: Dict[int, Segment] = {}
         self.retries = 0
         self.rto = base_rto
-        self.timer: Optional[Event] = None
+        self.timer: Optional["TimerHandle"] = None
 
     def reset(self, base_rto: float) -> None:
         """Abandon the current epoch: in-flight traffic is lost for good."""
@@ -207,7 +211,7 @@ class _RecvState:
         self.expected = 0
         #: seq -> Segment parked until the sequence gap fills.
         self.buffer: Dict[int, Segment] = {}
-        self.ack_timer: Optional[Event] = None
+        self.ack_timer: Optional["TimerHandle"] = None
 
     @property
     def cumulative_ack(self) -> int:
@@ -222,11 +226,14 @@ class _RecvState:
 
 
 class ReliableTransport:
-    """Exactly-once FIFO channels for every site pair in one simulator.
+    """Exactly-once FIFO channels for every site pair on one substrate.
 
-    One instance serves the whole simulation (channels are cheap dict
-    entries created on first use), installed via
-    :meth:`repro.sim.simulator.Simulator.install_transport`.
+    One instance serves all channels its substrate hosts — the whole
+    simulation (installed via
+    :meth:`repro.sim.simulator.Simulator.install_transport`), or one
+    site's channels to every peer on the UDP backend (installed via
+    :meth:`repro.net.substrate.NetSubstrate.install_transport`).
+    Channels are cheap dict entries created on first use.
 
     ``on_give_up(src, dst)`` fires at most once per exhausted epoch when
     ``src``'s channel to ``dst`` runs out of retries; wire it to the
@@ -237,8 +244,10 @@ class ReliableTransport:
     being retried forever.
     """
 
-    def __init__(self, sim: "Simulator", config: Optional[ReliableConfig] = None) -> None:
-        self.sim = sim
+    def __init__(
+        self, substrate: "Substrate", config: Optional[ReliableConfig] = None
+    ) -> None:
+        self.sim = substrate
         self.config = config or ReliableConfig()
         self.stats = TransportStats()
         self.on_give_up: Optional[Callable[[SiteId, SiteId], None]] = None
@@ -290,7 +299,7 @@ class ReliableTransport:
         sender.next_seq += 1
         sender.unacked[segment.seq] = segment
         self.stats.data_sent += 1
-        self.sim.network.send(src, dst, segment, type_name, piggybacked)
+        self.sim.raw_send(src, dst, segment, type_name, piggybacked)
         if sender.timer is None:
             sender.timer = self.sim.schedule_call(
                 sender.rto, self._on_rto, (src, dst), "rto"
@@ -384,10 +393,10 @@ class ReliableTransport:
     def _send_pure_ack(self, owner: SiteId, peer: SiteId) -> None:
         recv = self._receiver(peer, owner)
         recv.ack_timer = None
-        if self.sim.nodes[owner].crashed:
+        if self.sim.is_crashed(owner):
             return
         self.stats.acks_sent += 1
-        self.sim.network.send(
+        self.sim.raw_send(
             owner, peer, AckSegment(recv.cumulative_ack, recv.epoch), "ack"
         )
 
@@ -398,7 +407,7 @@ class ReliableTransport:
         if sender is None:
             return
         sender.timer = None
-        if not sender.unacked or self.sim.nodes[src].crashed:
+        if not sender.unacked or self.sim.is_crashed(src):
             return
         sender.retries += 1
         if sender.retries > self.config.max_retries:
@@ -417,7 +426,7 @@ class ReliableTransport:
             segment.ack = reverse.cumulative_ack
             segment.ack_epoch = reverse.epoch
             self.stats.retransmitted += 1
-            self.sim.network.send(src, dst, segment, segment.type_name)
+            self.sim.raw_send(src, dst, segment, segment.type_name)
         sender.rto = min(sender.rto * self.config.backoff, self.config.rto_max)
         sender.timer = self.sim.schedule_call(
             sender.rto, self._on_rto, (src, dst), "rto"

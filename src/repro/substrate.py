@@ -1,0 +1,159 @@
+"""The execution substrate: what a protocol site needs from its world.
+
+The protocol layers — :class:`~repro.sim.node.Node`, the mutex
+algorithms, the reliable-channel transport, the failure detectors — do
+not care whether time is simulated or real, or whether a message rides a
+heap event or a UDP datagram. They interact with the world through the
+narrow :class:`Substrate` interface defined here:
+
+* a **clock** (:attr:`Substrate.now`),
+* **timers** (:meth:`Substrate.schedule_call`, returning a cancellable
+  :class:`TimerHandle`),
+* a **send path** (:meth:`Substrate.send` for protocol messages, routed
+  through a reliable-channel transport when one is installed, and
+  :meth:`Substrate.raw_send` for transport frames going straight to the
+  wire),
+* **delivery upcalls** (:meth:`Substrate.deliver_local` for self-sends,
+  :meth:`Substrate.deliver_protocol` for the transport layer's exit),
+* seeded **randomness** (:meth:`Substrate.rng`), and
+* a **trace sink** (:attr:`Substrate.trace`) emitting the
+  ``repro-trace/1`` record stream the verification stack replays.
+
+Two implementations exist:
+
+* :class:`repro.sim.simulator.Simulator` — the deterministic
+  discrete-event kernel (virtual clock, heap-scheduled events, modelled
+  network). The golden-fingerprint tests pin its behaviour byte-for-byte.
+* :class:`repro.net.substrate.NetSubstrate` — real execution (wall
+  clock, asyncio timers, UDP datagrams on localhost), one substrate per
+  OS process hosting one site.
+
+Because both satisfy the same interface, a :class:`~repro.sim.node.Node`
+subclass written against it — every mutex algorithm in
+:mod:`repro.mutex`, the fault-tolerant core in :mod:`repro.core`, the
+heartbeat detector in :mod:`repro.ft.detector` — runs unchanged on
+either, and the :class:`~repro.obs.monitor.ProtocolMonitor` verifies
+both from the identical trace schema.
+
+The protocol is :func:`typing.runtime_checkable` so tests can assert
+``isinstance(Simulator(...), Substrate)``; structural typing means the
+simulator does not import (or even know about) this module at runtime.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+from repro.sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.node import Node
+
+#: A site identifier. Sites are small dense integers everywhere: quorum
+#: systems, address books, and trace records all key on them.
+SiteId = int
+
+
+@runtime_checkable
+class TimerHandle(Protocol):
+    """A scheduled timer that can be cancelled.
+
+    The simulator returns its :class:`~repro.sim.event.Event`; the net
+    substrate returns asyncio's ``TimerHandle``. Both expose exactly the
+    one method the protocol layers use.
+    """
+
+    def cancel(self) -> None:
+        """Revoke the timer; a cancelled action never fires."""
+
+
+@runtime_checkable
+class Substrate(Protocol):
+    """Everything a protocol site may ask of its execution environment.
+
+    See the module docstring for the contract; the per-method notes
+    below state the guarantees both implementations uphold.
+    """
+
+    #: The trace sink. Call sites guard hot-path records with
+    #: ``if trace.enabled:``; a :class:`~repro.sim.trace.NullTrace`
+    #: disables tracing at near-zero cost.
+    trace: Trace
+
+    #: Locally hosted nodes by site id. The simulator hosts all ``N``
+    #: sites; a net substrate hosts exactly one.
+    nodes: Dict[SiteId, "Node"]
+
+    @property
+    def now(self) -> float:
+        """Current time in *time units* (the sim's virtual clock, or the
+        net substrate's scaled wall clock). One unit is calibrated to the
+        mean one-way message delay ``T`` wherever possible, so measured
+        delays read against the paper's ``T``/``2T`` claims."""
+        ...
+
+    def schedule_call(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        label: str = "",
+    ) -> TimerHandle:
+        """Run ``fn(*args)`` after ``delay`` time units; ``delay >= 0``."""
+        ...
+
+    def send(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        message: Any,
+        type_name: str,
+        piggybacked: bool = False,
+    ) -> None:
+        """Accept one protocol message for delivery to ``dst``.
+
+        Routes through the reliable-channel transport when one is
+        installed, else straight to the wire. ``src != dst`` (self-sends
+        go through :meth:`deliver_local` and cost no message).
+        """
+        ...
+
+    def raw_send(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        frame: Any,
+        type_name: str,
+        piggybacked: bool = False,
+    ) -> None:
+        """Put one frame on the (possibly lossy) wire, bypassing any
+        transport. This is the reliable-channel layer's down-call."""
+        ...
+
+    def deliver_local(self, site: SiteId, message: Any) -> None:
+        """Deliver a self-addressed message (no network, no message
+        cost); always invoked through a zero-delay timer so handler
+        re-entrancy is impossible."""
+        ...
+
+    def deliver_protocol(self, src: SiteId, dst: SiteId, message: Any) -> None:
+        """Deliver an unwrapped protocol message to a hosted node (the
+        transport layer's exit; records the ``deliver`` trace row)."""
+        ...
+
+    def is_crashed(self, site: SiteId) -> bool:
+        """True if a *hosted* ``site`` is currently crashed (fail-stop)."""
+        ...
+
+    def rng(self, name: str) -> random.Random:
+        """A named deterministic RNG stream derived from the run seed."""
+        ...

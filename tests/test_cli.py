@@ -283,3 +283,49 @@ def test_explore_command_counterexample_export(tmp_path, capsys, monkeypatch):
     assert "counterexample: DeadlockError" in out
     violations = ex.replay_counterexample(str(out_path))
     assert [v.invariant for v in violations] == ["deadlock"]
+
+
+def test_net_run_parser_defaults_and_alias():
+    args = build_parser().parse_args(["net", "run", "--algo", "cao"])
+    assert args.command == "net"
+    assert args.net_command == "run"
+    assert args.algorithm == "cao-singhal"  # alias resolved
+    assert args.spawn == "process"
+    assert args.reliable is True
+
+
+def test_net_run_rejects_unknown_algorithm():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["net", "run", "--algo", "not-real"])
+
+
+def test_net_run_command_inproc(tmp_path, capsys):
+    code = main(
+        [
+            "net", "run", "--algo", "cao", "--sites", "3",
+            "--requests", "2", "--seed", "1", "--spawn", "inproc",
+            "--run-dir", str(tmp_path / "run"),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "6/6 CS completions" in out
+    assert "monitor verdict: clean" in out
+    assert (tmp_path / "run" / "merged.jsonl").exists()
+
+
+def test_net_run_command_json_output(tmp_path, capsys):
+    import json
+
+    code = main(
+        [
+            "net", "run", "-a", "ricart-agrawala", "--sites", "3",
+            "--requests", "1", "--spawn", "inproc", "--json",
+            "--run-dir", str(tmp_path / "run"),
+        ]
+    )
+    assert code == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["completed"] == 3
+    assert report["violations"] == []
+    assert report["message_complexity_c"] is None  # non-quorum algorithm

@@ -1,0 +1,111 @@
+"""Differential sim-vs-real harness (the tentpole's acceptance gate).
+
+The same protocol configuration runs on both substrates:
+
+* a seeded discrete-event simulation, traced and replayed through the
+  :class:`~repro.obs.monitor.ProtocolMonitor`;
+* a real localhost UDP run (one OS process per site), whose merged
+  per-site shards replay through the *same* monitor, zero changes.
+
+Both must reach identical safety verdicts (clean), and the real
+backend's measured message complexity must satisfy the paper's
+``3 <= c <= 6`` bound per quorum member (Section 5) just like the
+simulated one. A chaos variant injects datagram loss under the reliable
+layer and must stay clean too.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import RunConfig, run_mutex
+from repro.net import NetRunConfig, run_net
+from repro.obs.monitor import ProtocolMonitor
+from repro.sim.network import ConstantDelay
+from repro.workload.driver import SaturationWorkload
+
+N_SITES = 5
+REQUESTS = 4
+SEED = 7
+
+
+def sim_side():
+    result = run_mutex(
+        RunConfig(
+            algorithm="cao-singhal",
+            n_sites=N_SITES,
+            seed=SEED,
+            delay_model=ConstantDelay(1.0),
+            cs_duration=0.05,
+            workload=SaturationWorkload(REQUESTS),
+            trace=True,
+        )
+    )
+    monitor = ProtocolMonitor(strict=False)
+    violations = monitor.replay(result.sim.trace)
+    summary = result.summary
+    c = summary.messages_per_cs / summary.mean_quorum_size
+    return [str(v) for v in violations], c, summary
+
+
+@pytest.fixture(scope="module")
+def net_report(tmp_path_factory):
+    """One process-per-site UDP run shared by the differential asserts."""
+    config = NetRunConfig(
+        algorithm="cao-singhal",
+        n_sites=N_SITES,
+        requests_per_site=REQUESTS,
+        seed=SEED,
+        deadline=60.0,
+    )
+    return run_net(
+        config, run_dir=tmp_path_factory.mktemp("net-run"), spawn="process"
+    )
+
+
+def test_differential_same_safety_verdicts(net_report):
+    sim_violations, _, _ = sim_side()
+    assert sim_violations == [], "seeded sim run must be clean"
+    assert net_report.violations == [], "real UDP run must be clean"
+    # Identical verdicts: both executions satisfy every monitored
+    # invariant (mutual exclusion, single-grant arbiters,
+    # transfer-honoured, quorum consistency).
+    assert net_report.completed == net_report.submitted == N_SITES * REQUESTS
+
+
+def test_differential_message_complexity_comparable(net_report):
+    _, sim_c, _ = sim_side()
+    net_c = net_report.message_complexity_c
+    assert net_c is not None
+    # The paper's Section 5 bound holds on both substrates ...
+    assert 3.0 <= sim_c <= 6.0, f"sim c={sim_c}"
+    assert 3.0 <= net_c <= 6.0, f"net c={net_c}"
+    # ... and the two measurements are comparable, not wildly apart
+    # (timing differs, so counts need not match exactly).
+    assert abs(net_c - sim_c) <= 1.5, f"sim c={sim_c} vs net c={net_c}"
+
+
+def test_chaos_udp_run_stays_clean():
+    # Datagram loss + duplication injected below the reliable layer:
+    # the transport must rebuild exactly-once FIFO, and the monitor
+    # verdicts must stay clean end to end.
+    config = NetRunConfig(
+        algorithm="cao-singhal",
+        n_sites=3,
+        requests_per_site=3,
+        seed=11,
+        loss=0.15,
+        duplicate=0.05,
+        chaos_seed=3,
+        deadline=60.0,
+    )
+    report = run_net(config, spawn="inproc")
+    assert report.completed == report.submitted == 9
+    assert report.violations == []
+    dropped = sum(s["chaos_dropped"] for s in report.site_summaries)
+    healed = sum(
+        s.get("transport", {}).get("retransmitted", 0)
+        for s in report.site_summaries
+    )
+    assert dropped > 0, "chaos must actually have dropped datagrams"
+    assert healed > 0, "losses must have been healed by retransmission"

@@ -1,0 +1,121 @@
+"""Trace-shard merging tests: per-site ``repro-trace/1`` JSONL shards
+combine into one stream the runtime monitor can replay — ordering,
+tie-break stability, bundled messages, and crash records included."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import Bundle, Priority
+from repro.core.messages import Inquire, Release, Request, Transfer
+from repro.errors import ConfigurationError
+from repro.net.merge import merge_records, merge_shard_files
+from repro.obs.export import export_jsonl, import_jsonl
+from repro.obs.monitor import ProtocolMonitor
+from repro.sim.trace import TraceRecord
+
+
+def rec(t, kind, site, detail=None):
+    return TraceRecord(time=t, kind=kind, site=site, detail=detail)
+
+
+def test_merge_orders_across_shards_by_time():
+    a = [rec(1.0, "deliver", 0), rec(3.0, "cs_enter", 0)]
+    b = [rec(0.5, "request", 1), rec(2.0, "deliver", 1)]
+    merged = merge_records([a, b])
+    assert [r.time for r in merged] == [0.5, 1.0, 2.0, 3.0]
+
+
+def test_merge_is_stable_within_equal_timestamps():
+    # Two records from one shard inside the same clock tick must keep
+    # their shard order: a site's cs_enter may never migrate before the
+    # deliver that caused it.
+    a = [rec(1.0, "deliver", 0, "cause"), rec(1.0, "cs_enter", 0)]
+    b = [rec(1.0, "request", 1)]
+    merged = merge_records([a, b])
+    a_order = [r.kind for r in merged if r.site == 0]
+    assert a_order == ["deliver", "cs_enter"]
+
+
+def test_merge_shard_files_roundtrips_through_jsonl(tmp_path):
+    shard_a = tmp_path / "trace-0.jsonl"
+    shard_b = tmp_path / "trace-1.jsonl"
+    bundle = Bundle(
+        parts=(
+            Transfer(
+                beneficiary=Priority(2, 1), arbiter=0, holder=Priority(1, 0)
+            ),
+            Inquire(arbiter=0, target=Priority(1, 0)),
+        )
+    )
+    export_jsonl(
+        [
+            rec(0.2, "request", 0, Priority(1, 0)),
+            rec(1.5, "deliver", 0, bundle),
+            rec(4.0, "crash", 0),
+        ],
+        str(shard_a),
+        meta={"site": 0, "substrate": "net"},
+    )
+    export_jsonl(
+        [rec(0.9, "deliver", 1, Request(Priority(1, 0)))],
+        str(shard_b),
+        meta={"site": 1, "substrate": "net"},
+    )
+    out = tmp_path / "merged.jsonl"
+    merged = merge_shard_files([shard_a, shard_b], out_path=str(out))
+
+    assert [r.time for r in merged.records] == [0.2, 0.9, 1.5, 4.0]
+    # Bundled messages and crash records survive the round trip intact.
+    assert merged.records[2].detail == bundle
+    assert merged.records[3].kind == "crash"
+    assert merged.meta["merged_shards"] == 2
+
+    # The written merged file is itself a valid repro-trace/1 stream.
+    replayed = import_jsonl(str(out))
+    assert replayed.records == merged.records
+    assert replayed.meta["merged_shards"] == 2
+
+
+def test_merged_stream_is_monitor_replayable(tmp_path):
+    # A tiny two-site history, sharded by site, must replay cleanly.
+    shard_a = tmp_path / "a.jsonl"
+    shard_b = tmp_path / "b.jsonl"
+    export_jsonl(
+        [
+            rec(0.1, "request", 0, Priority(1, 0)),
+            rec(1.0, "cs_enter", 0),
+            rec(2.0, "cs_exit", 0),
+            rec(2.1, "deliver", 0, Release(releaser=Priority(1, 0))),
+        ],
+        str(shard_a),
+    )
+    export_jsonl(
+        [
+            rec(2.5, "request", 1, Priority(2, 1)),
+            rec(3.5, "cs_enter", 1),
+            rec(4.0, "cs_exit", 1),
+        ],
+        str(shard_b),
+    )
+    merged = merge_shard_files([shard_a, shard_b])
+    monitor = ProtocolMonitor(strict=False)
+    assert monitor.replay(merged.records) == []
+    assert monitor.records_seen == 7
+
+
+def test_merge_overlapping_cs_is_caught_after_merging(tmp_path):
+    # The violation only exists *across* shards — exactly what merging
+    # is for: each site's own shard looks locally innocent.
+    shard_a = tmp_path / "a.jsonl"
+    shard_b = tmp_path / "b.jsonl"
+    export_jsonl([rec(1.0, "cs_enter", 0), rec(5.0, "cs_exit", 0)], str(shard_a))
+    export_jsonl([rec(2.0, "cs_enter", 1), rec(3.0, "cs_exit", 1)], str(shard_b))
+    merged = merge_shard_files([shard_a, shard_b])
+    violations = ProtocolMonitor(strict=False).replay(merged.records)
+    assert violations, "overlapping CS intervals must be flagged"
+
+
+def test_merge_requires_at_least_one_shard():
+    with pytest.raises(ConfigurationError):
+        merge_shard_files([])

@@ -1,0 +1,99 @@
+"""Datagram wire-format tests: the UDP codec round-trips every frame
+shape the substrate can put on a socket, and strictly rejects garbage
+(a malformed datagram must be droppable, never able to kill a site)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common import Bundle, Priority
+from repro.core.messages import Release, Reply, Request, Transfer
+from repro.errors import ConfigurationError
+from repro.net.wire import MAX_DATAGRAM, WIRE_VERSION, decode_frame, encode_frame
+from repro.sim.transport import AckSegment, Segment
+
+
+def roundtrip(frame, type_name="x", src=1, dst=2):
+    return decode_frame(encode_frame(src, dst, frame, type_name))
+
+
+def test_bare_message_roundtrip():
+    msg = Request(Priority(3, 1))
+    src, dst, frame, type_name = roundtrip(msg, "request", src=1, dst=4)
+    assert (src, dst, type_name) == (1, 4, "request")
+    assert frame == msg
+
+
+def test_segment_roundtrip_preserves_channel_position():
+    payload = Reply(arbiter=3, grantee=Priority(7, 2))
+    segment = Segment(
+        seq=5, epoch=2, ack=3, ack_epoch=1, payload=payload, type_name="reply"
+    )
+    _, _, decoded, type_name = roundtrip(segment, "reply")
+    assert isinstance(decoded, Segment)
+    assert (decoded.seq, decoded.epoch, decoded.ack, decoded.ack_epoch) == (
+        5,
+        2,
+        3,
+        1,
+    )
+    assert decoded.payload == payload
+    assert type_name == "reply"
+
+
+def test_ack_segment_roundtrip():
+    _, _, decoded, type_name = roundtrip(AckSegment(9, 4), "ack")
+    assert isinstance(decoded, AckSegment)
+    assert (decoded.ack, decoded.epoch) == (9, 4)
+    assert type_name == "ack"
+
+
+def test_bundle_payload_roundtrips_inside_a_segment():
+    bundle = Bundle(
+        parts=(
+            Transfer(
+                beneficiary=Priority(2, 1), arbiter=3, holder=Priority(1, 0)
+            ),
+            Release(releaser=Priority(1, 0)),
+        )
+    )
+    segment = Segment(
+        seq=0,
+        epoch=0,
+        ack=-1,
+        ack_epoch=0,
+        payload=bundle,
+        type_name="transfer+release",
+    )
+    _, _, decoded, _ = roundtrip(segment, "transfer+release")
+    assert decoded.payload == bundle
+
+
+@pytest.mark.parametrize(
+    "data",
+    [
+        b"\xff\xfe not json",
+        b"[]",
+        b'{"v": 99, "s": 0, "r": 1}',
+        b'{"v": 1, "s": 0}',  # no type_name, no ack
+        b'{"v": 1, "s": 0, "r": 1, "ack": "bad"}',
+        b'{"v": 1, "s": 0, "r": 1, "tn": "x", "d": null, "seg": [1]}',
+    ],
+)
+def test_malformed_datagrams_raise_configuration_error(data):
+    with pytest.raises(ConfigurationError):
+        decode_frame(data)
+
+
+def test_oversized_frame_is_rejected_at_encode_time():
+    huge = Request(Priority(0, 0))
+    # Simulate a pathological payload via an enormous type name.
+    with pytest.raises(ConfigurationError):
+        encode_frame(0, 1, huge, "x" * (MAX_DATAGRAM + 1))
+
+
+def test_wire_version_is_stamped_on_every_datagram():
+    data = encode_frame(0, 1, Request(Priority(1, 0)), "request")
+    assert json.loads(data.decode())["v"] == WIRE_VERSION

@@ -155,6 +155,36 @@ def test_first_failure_in_seed_order_wins(monkeypatch):
     assert err.value.trial_seed == 1
 
 
+def test_single_cpu_host_falls_back_in_process(monkeypatch):
+    # On a 1-CPU host the pool can only add fork/pickle overhead
+    # (BENCH_parallel_engine.json measured 0.98x "speedup"), so even an
+    # explicit workers>1 must degrade to in-process execution.
+    monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 1)
+
+    def no_pool(*args, **kwargs):
+        raise AssertionError("process pool constructed on a 1-CPU host")
+
+    monkeypatch.setattr(pool_module, "ProcessPoolExecutor", no_pool)
+    out = TrialPool(workers=4).run_seeds(small_config(), [0, 1])
+    assert [s.seed for s in out] == [0, 1]
+
+
+def test_multi_cpu_host_still_uses_the_pool(monkeypatch):
+    # The degenerate-host fallback must not swallow real parallelism.
+    monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 4)
+    used = {}
+    real_executor = pool_module.ProcessPoolExecutor
+
+    def spying_executor(*args, **kwargs):
+        used["workers"] = kwargs.get("max_workers") or args[0]
+        return real_executor(*args, **kwargs)
+
+    monkeypatch.setattr(pool_module, "ProcessPoolExecutor", spying_executor)
+    out = TrialPool(workers=2).run_seeds(small_config(), [0, 1])
+    assert [s.seed for s in out] == [0, 1]
+    assert used["workers"] == 2
+
+
 def test_unpicklable_config_falls_back_in_process():
     config = small_config(cs_duration=lambda: 0.05)
     with pytest.warns(RuntimeWarning, match="picklable"):
