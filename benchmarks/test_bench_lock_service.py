@@ -1,0 +1,91 @@
+"""Lock-service benchmark: acceptance-scale sharded run, lease on vs off.
+
+Not a paper experiment — the headline measurement for the multi-resource
+layer built on the paper's mutex kernel. One seeded scenario at the
+PR's acceptance scale — 10^5 named locks, Zipf(1.1) hot-key skew, 10^4
+open-loop acquires over 16 shards x 9 sites — run twice on the same
+seed: hot-key lease cache on, then off. The run itself verifies per-key
+mutual exclusion (zero violations or it raises), and the benchmark
+asserts the lease cache *measurably* reduces quorum messages per
+acquire against the lease-off control.
+
+Everything in the archived ``BENCH_lock_service.json`` is deterministic
+for the pinned seed (the timing lives only in pytest-benchmark's own
+stats), so the regression gate holds these numbers exactly where the
+spec says exact and within absolute bounds where it says bounded.
+"""
+
+from __future__ import annotations
+
+from conftest import archive_json
+
+from repro.locks import LockRunConfig, run_lock_service
+
+SCENARIO = dict(
+    algorithm="cao-singhal",
+    shards=16,
+    n_sites=9,
+    n_keys=100_000,
+    n_clients=64,
+    arrival_rate=8.0,
+    n_requests=10_000,
+    key_skew=1.1,
+    seed=7,
+)
+
+#: "Measurably reduces": the lease run must beat the control by at
+#: least this percentage of quorum messages per acquire.
+MIN_LEASE_REDUCTION_PCT = 5.0
+
+
+def test_bench_lock_service(benchmark):
+    leased = benchmark.pedantic(
+        lambda: run_lock_service(LockRunConfig(**SCENARIO)).summary,
+        rounds=1,
+        iterations=1,
+    )
+    control = run_lock_service(LockRunConfig(lease=False, **SCENARIO)).summary
+
+    # The acceptance run drained and verified: every acquire served,
+    # per-key mutual exclusion intact, keys genuinely concurrent.
+    assert leased.completed == SCENARIO["n_requests"]
+    assert leased.violations == 0 and control.violations == 0
+    assert leased.peak_concurrent_keys > 1
+
+    reduction_pct = 100 * (
+        1 - leased.messages_per_acquire / control.messages_per_acquire
+    )
+    assert reduction_pct >= MIN_LEASE_REDUCTION_PCT, (
+        f"lease cache saved only {reduction_pct:.1f}% of messages per "
+        f"acquire ({leased.messages_per_acquire:.2f} vs "
+        f"{control.messages_per_acquire:.2f}); expected >= "
+        f"{MIN_LEASE_REDUCTION_PCT}%"
+    )
+    assert leased.quorum_rounds < control.quorum_rounds
+
+    payload = {
+        "benchmark": "lock_service",
+        "scenario": dict(SCENARIO),
+        "completed": leased.completed,
+        "violations": leased.violations,
+        "messages_per_acquire_lease_on": round(leased.messages_per_acquire, 4),
+        "messages_per_acquire_lease_off": round(
+            control.messages_per_acquire, 4
+        ),
+        "lease_reduction_pct": round(reduction_pct, 2),
+        "lease_hits": leased.lease_hits,
+        "lease_hit_rate": round(leased.lease_hit_rate, 4),
+        "quorum_rounds_lease_on": leased.quorum_rounds,
+        "quorum_rounds_lease_off": control.quorum_rounds,
+        "mean_wait": round(leased.mean_wait, 4),
+        "p95_wait": round(leased.p95_wait, 4),
+        "shard_hotspot": round(leased.hotspot_factor, 4),
+        "peak_concurrent_keys": leased.peak_concurrent_keys,
+    }
+    path = archive_json("lock_service", payload)
+    print(
+        f"\nlock service: {leased.completed} acquires, "
+        f"{leased.messages_per_acquire:.2f} msgs/acquire with lease vs "
+        f"{control.messages_per_acquire:.2f} without "
+        f"(-{reduction_pct:.1f}%) -> {path.name}"
+    )

@@ -23,7 +23,13 @@ The same sites run on either execution substrate:
   real wall-clock timers, heartbeats as actual datagrams, and the crash
   observed only through the silence it causes.
 
-Run: ``python examples/fault_tolerant_lock_service.py [--substrate net]``
+``--service`` switches to the *sharded multi-resource* demo instead:
+``repro.locks`` runs many named locks over several independent mutex
+instances, a Zipf-skewed client population hammers the hot keys, and the
+per-shard lease cache is shown cutting protocol messages against a
+lease-off control run of the exact same seeded schedule.
+
+Run: ``python examples/fault_tolerant_lock_service.py [--substrate net | --service]``
 """
 
 from __future__ import annotations
@@ -140,6 +146,55 @@ def run_net(sites, unit: float = 0.02) -> float:
     return asyncio.run(drive())
 
 
+def run_service(seed: int = 7) -> None:
+    """The sharded multi-resource demo: many named locks, few arbiters.
+
+    10k keys hash onto 4 shards (one cao-singhal instance each); 32
+    clients draw keys Zipf(1.2), so a handful of keys soak up most of
+    the traffic — exactly the regime where the per-shard lease cache
+    pays: the hot key's shard keeps its authorization between acquires.
+    """
+    import dataclasses
+
+    from repro.locks import LockRunConfig, run_lock_service
+
+    config = LockRunConfig(
+        algorithm="cao-singhal",
+        shards=4,
+        n_sites=9,
+        n_keys=10_000,
+        n_clients=32,
+        arrival_rate=4.0,
+        n_requests=2_000,
+        key_skew=1.2,
+        seed=seed,
+    )
+    print(
+        f"lock service: {config.shards} shards x {config.n_sites} sites "
+        f"({config.algorithm}), {config.n_keys} keys, Zipf({config.key_skew}), "
+        f"{config.n_requests} acquires from {config.n_clients} clients\n"
+    )
+    leased = run_lock_service(config).summary
+    control = run_lock_service(
+        dataclasses.replace(config, lease=False)
+    ).summary
+
+    print(leased.describe())
+    saved = 100.0 * (1 - leased.messages_per_acquire / control.messages_per_acquire)
+    print(
+        f"\nlease cache: {leased.lease_hits} zero-message acquires, "
+        f"{leased.quorum_rounds} quorum rounds "
+        f"(control without leases: {control.quorum_rounds})"
+    )
+    print(
+        f"messages/acquire {leased.messages_per_acquire:.2f} vs "
+        f"{control.messages_per_acquire:.2f} lease-off — {saved:.1f}% saved"
+    )
+    assert leased.violations == control.violations == 0
+    print("\nper-key mutual exclusion verified on both runs — "
+          "same schedule, cheaper protocol")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -150,7 +205,15 @@ def main() -> None:
         "--unit", type=float, default=0.02,
         help="net substrate: wall seconds per time unit",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="run the sharded multi-resource lock-service demo instead",
+    )
     args = parser.parse_args()
+
+    if args.service:
+        run_service()
+        return
 
     quorums = TreeQuorumSystem(N_SITES)
     metrics = MetricsCollector()

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     repro run  --algorithm cao-singhal --sites 25 --quorum grid ...
     repro run  --trials 30 --workers 4 --cache   # seed fan-out, cached
@@ -9,6 +9,7 @@ Six subcommands::
     repro regress --baseline benchmarks/results --current fresh/  # bench gate
     repro explore --quorums "3,4;3,4;3,4;3;4" --crashes 1  # model checker
     repro net run --algo cao --sites 9           # real asyncio UDP processes
+    repro locks run --keys 100000 --zipf 1.1     # sharded named-lock service
 
 (Invoke as ``python -m repro.cli`` when the console script is not on
 PATH.)
@@ -31,6 +32,8 @@ from repro.experiments import (
     run_heavy_load,
     run_light_load,
     run_load_sweep,
+    run_lock_skew,
+    run_lock_sweep,
     run_queueing,
     run_quorum_scaling,
     run_recovery,
@@ -70,6 +73,8 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentReport]] = {
     "E11": run_churn,
     "E12": run_queueing,
     "E13": run_chaos_resilience,
+    "E14": run_lock_sweep,
+    "E15": run_lock_skew,
 }
 
 
@@ -348,6 +353,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     net_run.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
+    )
+
+    locks_p = sub.add_parser(
+        "locks",
+        help="sharded multi-resource lock service over the mutex kernel",
+    )
+    locks_sub = locks_p.add_subparsers(dest="locks_command", required=True)
+    locks_run = locks_sub.add_parser(
+        "run",
+        help="run a seeded lock-service workload and print its summary",
+    )
+    locks_run.add_argument(
+        "--algo", "--algorithm", "-a", dest="algorithm", type=_algorithm,
+        default="cao-singhal",
+        help=f"shard mutex algorithm ({', '.join(algorithm_names())}; "
+        "'cao' is shorthand for cao-singhal)",
+    )
+    locks_run.add_argument(
+        "--shards", "-k", type=int, default=4,
+        help="independent mutex instances the keys hash onto",
+    )
+    locks_run.add_argument(
+        "--sites", "-n", type=int, default=9, help="protocol sites per shard"
+    )
+    locks_run.add_argument(
+        "--quorum", "-q", default=None, choices=quorum_system_names(),
+        help="quorum construction for quorum algorithms (default grid)",
+    )
+    locks_run.add_argument("--seed", type=int, default=0)
+    locks_run.add_argument(
+        "--keys", type=int, default=1_000, metavar="M",
+        help="named-lock name space: keys lock-0..lock-(M-1)",
+    )
+    locks_run.add_argument(
+        "--clients", type=int, default=16, metavar="C",
+        help="open-loop client population",
+    )
+    locks_run.add_argument(
+        "--requests", "-r", type=int, default=500, metavar="R",
+        help="total acquires to submit",
+    )
+    locks_run.add_argument(
+        "--rate", type=float, default=2.0, metavar="RATE",
+        help="total Poisson acquire rate across the population",
+    )
+    locks_run.add_argument(
+        "--zipf", type=float, default=0.0, metavar="S",
+        help="Zipf key-popularity exponent (0 = uniform)",
+    )
+    locks_run.add_argument("--hold", type=float, default=0.05, metavar="D",
+                           help="lock hold duration")
+    locks_run.add_argument(
+        "--routing", choices=("affinity", "client"), default="affinity",
+        help="front-end placement: key-affinity (lease-friendly) or "
+        "client-pinned",
+    )
+    locks_run.add_argument(
+        "--batch-max", type=int, default=8, metavar="B",
+        help="max acquires served under one shard authorization",
+    )
+    locks_run.add_argument(
+        "--lease", action=argparse.BooleanOptionalAction, default=True,
+        help="retain the shard CS after a batch drains (hot-key cache)",
+    )
+    locks_run.add_argument(
+        "--lease-window", type=float, default=2.0, metavar="W",
+        help="retention window in time units (with --lease)",
+    )
+    locks_run.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
     )
 
     exp_p = sub.add_parser(
@@ -703,6 +778,38 @@ def cmd_net(args: argparse.Namespace) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_locks(args: argparse.Namespace) -> int:
+    """``repro locks run``: one verified lock-service simulation."""
+    # Imported here: no other subcommand needs the lock-service layer.
+    from repro.locks import LockRunConfig, run_lock_service
+
+    config = LockRunConfig(
+        algorithm=args.algorithm,
+        shards=args.shards,
+        n_sites=args.sites,
+        quorum=args.quorum,
+        seed=args.seed,
+        n_keys=args.keys,
+        n_clients=args.clients,
+        n_requests=args.requests,
+        arrival_rate=args.rate,
+        key_skew=args.zipf,
+        hold_duration=args.hold,
+        routing=args.routing,
+        batch_max=args.batch_max,
+        lease=args.lease,
+        lease_window=args.lease_window,
+    )
+    summary = run_lock_service(config).summary
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(summary.describe())
+    return 0
+
+
 def cmd_experiment(args: argparse.Namespace) -> int:
     ids = sorted(EXPERIMENTS) if args.id == "all" else [args.id]
     env_workers = os.environ.get(WORKERS_ENV)
@@ -759,6 +866,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_experiment(args)
     if args.command == "net":
         return cmd_net(args)
+    if args.command == "locks":
+        return cmd_locks(args)
     return 2  # pragma: no cover - argparse enforces the choices
 
 

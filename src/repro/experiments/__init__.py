@@ -14,6 +14,8 @@ E10       Arbitration load balance across constructions
 E11       Service continuity under crash/recovery churn
 E12       Arbiter queue dynamics across the load range
 E13       Chaos resilience: degradation vs packet-loss rate
+E14       Lock-service scale sweep (lock count x client count)
+E15       Lock-service key skew: shard balance + lease-cache savings
 ========  =============================================================
 """
 
@@ -24,8 +26,9 @@ from repro.experiments.delay import run_delay
 from repro.experiments.fault_tolerance import run_availability, run_recovery
 from repro.experiments.heavy_load import run_heavy_load
 from repro.experiments.light_load import run_light_load
-from repro.experiments.load_balance import run_load_balance
+from repro.experiments.load_balance import run_load_balance, run_lock_skew
 from repro.experiments.load_sweep import run_load_sweep
+from repro.experiments.lock_sweep import run_lock_sweep
 from repro.experiments.queueing import run_queueing
 from repro.experiments.quorum_scaling import run_quorum_scaling
 from repro.experiments.replicate import Replication, replicate, sync_delay_ci
@@ -50,6 +53,8 @@ __all__ = [
     "run_light_load",
     "run_load_balance",
     "run_load_sweep",
+    "run_lock_skew",
+    "run_lock_sweep",
     "run_mutex",
     "run_queueing",
     "run_quorum_scaling",

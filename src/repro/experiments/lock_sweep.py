@@ -1,0 +1,94 @@
+"""Experiment E14 — lock-service scale sweep (lock count x client count).
+
+The sharded service's promise is that protocol cost per acquire stays
+flat as the *name space* grows: 10^6 named locks cost no more per
+acquire than 10^3, because keys hash onto a fixed pool of K mutex
+instances and only contention — driven by the client population and
+arrival rate, not the key count — generates protocol work. This sweep
+pins that: messages per acquire varies with clients (more contention →
+more batching/coalescing, fewer rounds per acquire) and is essentially
+independent of the key count.
+
+Trials fan out through :class:`repro.parallel.TrialPool`, so the grid
+parallelizes across cores while the report stays byte-identical to a
+serial run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.report import ExperimentReport
+from repro.locks.runner import LockRunConfig, run_lock_configs
+
+DEFAULT_KEY_COUNTS = (100, 1_000, 10_000)
+DEFAULT_CLIENT_COUNTS = (8, 32, 128)
+
+
+def run_lock_sweep(
+    key_counts: Sequence[int] = DEFAULT_KEY_COUNTS,
+    client_counts: Sequence[int] = DEFAULT_CLIENT_COUNTS,
+    algorithm: str = "cao-singhal",
+    shards: int = 4,
+    n_sites: int = 9,
+    n_requests: int = 400,
+    rate_per_client: float = 0.125,
+    seed: int = 23,
+    workers: Optional[int] = None,
+) -> ExperimentReport:
+    """Lock-count x client-count grid over the sharded service.
+
+    Open-loop population: each client submits at ``rate_per_client``, so
+    the total acquire rate — and with it the contention — scales with
+    the client count while the key count only widens the name space.
+    """
+    report = ExperimentReport(
+        experiment_id="E14",
+        title=f"Lock service scale sweep, {algorithm}, "
+        f"{shards} shards x {n_sites} sites, {n_requests} acquires",
+        headers=[
+            "locks",
+            "clients",
+            "msgs/acquire",
+            "quorum rounds",
+            "lease hit %",
+            "mean wait",
+            "p95 wait",
+            "shard hotspot",
+        ],
+    )
+    grid = [
+        LockRunConfig(
+            algorithm=algorithm,
+            shards=shards,
+            n_sites=n_sites,
+            n_keys=n_keys,
+            n_clients=n_clients,
+            n_requests=n_requests,
+            arrival_rate=rate_per_client * n_clients,
+            key_skew=1.1,
+            seed=seed,
+        )
+        for n_keys in key_counts
+        for n_clients in client_counts
+    ]
+    for summary in run_lock_configs(grid, workers=workers):
+        report.add_row(
+            summary.n_keys,
+            summary.n_clients,
+            round(summary.messages_per_acquire, 2),
+            summary.quorum_rounds,
+            round(100 * summary.lease_hit_rate, 1),
+            round(summary.mean_wait, 3),
+            round(summary.p95_wait, 3),
+            round(summary.hotspot_factor, 2),
+        )
+    report.add_note(
+        "Protocol cost per acquire tracks the client population (each "
+        "client adds open-loop load, so more clients means more "
+        "batching/coalescing per quorum round), while the key count only "
+        "widens the name space: rows with equal clients stay close as "
+        "locks grow 100x, because keys select a shard without adding "
+        "protocol state."
+    )
+    return report

@@ -1,0 +1,41 @@
+"""Sharded multi-resource lock service over the mutual-exclusion kernel.
+
+Named locks (string keys) hash onto ``K`` independent mutex instances —
+each an unmodified registry algorithm running over a shard-private
+substrate view of one simulator — with per-site front ends providing
+request batching, coalescing, and a Roucairol–Carvalho-style lease
+cache for hot keys. See ``docs/API.md`` for the layer map.
+"""
+
+from repro.locks.conformance import (
+    KeyConformanceChecker,
+    check_key_mutual_exclusion,
+)
+from repro.locks.frontend import LockRequest, ShardFrontEnd
+from repro.locks.router import ShardRouter, stable_key_hash
+from repro.locks.runner import (
+    LockRunConfig,
+    LockRunResult,
+    LockServiceSummary,
+    run_lock_configs,
+    run_lock_service,
+)
+from repro.locks.service import LockService, LockStats
+from repro.locks.substrate import ShardView
+
+__all__ = [
+    "KeyConformanceChecker",
+    "LockRequest",
+    "LockRunConfig",
+    "LockRunResult",
+    "LockService",
+    "LockServiceSummary",
+    "LockStats",
+    "ShardFrontEnd",
+    "ShardRouter",
+    "ShardView",
+    "check_key_mutual_exclusion",
+    "run_lock_configs",
+    "run_lock_service",
+    "stable_key_hash",
+]

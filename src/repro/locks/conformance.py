@@ -1,0 +1,114 @@
+"""Per-key conformance checking for the sharded lock service.
+
+The single-resource verifier (:mod:`repro.verify.invariants`) checks that
+one mutex instance never admits two sites at once. The lock service adds
+a second safety surface on top: *per-key* mutual exclusion across the
+whole population — no two clients hold the same named lock
+simultaneously — while *distinct* keys must be free to proceed
+concurrently (that concurrency is the entire point of sharding).
+
+:class:`KeyConformanceChecker` watches grants and releases online and
+raises :class:`~repro.errors.MutualExclusionViolation` the instant a key
+is double-granted, so a violating schedule fails at the offending event
+with both holders identified, not at the end of the run with a pile of
+intervals. It also witnesses the concurrency side: the peak number of
+distinct keys held at one instant, which conformance tests assert is
+``> 1`` (a service that accidentally serialized everything through one
+global lock would pass the safety check and fail this one).
+
+:func:`check_key_mutual_exclusion` is the post-hoc flavour over recorded
+:class:`~repro.locks.frontend.LockRequest` rows — an independent
+re-derivation from the (grant, release) intervals, used by tests to
+cross-check the online verdict.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import MutualExclusionViolation
+from repro.locks.frontend import LockRequest
+
+__all__ = ["KeyConformanceChecker", "check_key_mutual_exclusion"]
+
+
+class KeyConformanceChecker:
+    """Online per-key mutual-exclusion monitor.
+
+    The service calls :meth:`on_grant` / :meth:`on_release` for every
+    lock transition; the checker maintains the set of currently held
+    keys and fails fast on a double grant.
+    """
+
+    __slots__ = ("holding", "peak_concurrent_keys", "grants")
+
+    def __init__(self) -> None:
+        #: Currently held keys → the request holding each.
+        self.holding: Dict[str, LockRequest] = {}
+        #: High-water mark of distinct keys held at one instant — the
+        #: concurrency witness (must exceed 1 under a parallel workload).
+        self.peak_concurrent_keys = 0
+        self.grants = 0
+
+    def on_grant(self, request: LockRequest) -> None:
+        holder = self.holding.get(request.key)
+        if holder is not None:
+            raise MutualExclusionViolation(
+                f"key {request.key!r} granted to client {request.client} "
+                f"(shard {request.shard}, site {request.site}) at "
+                f"t={request.grant_time:.4f} while held by client "
+                f"{holder.client} (granted t={holder.grant_time:.4f})"
+            )
+        self.holding[request.key] = request
+        self.grants += 1
+        if len(self.holding) > self.peak_concurrent_keys:
+            self.peak_concurrent_keys = len(self.holding)
+
+    def on_release(self, request: LockRequest) -> None:
+        holder = self.holding.get(request.key)
+        if holder is not request:
+            raise MutualExclusionViolation(
+                f"key {request.key!r} released by client {request.client} "
+                f"at t={request.release_time:.4f} without holding it"
+            )
+        del self.holding[request.key]
+
+
+def check_key_mutual_exclusion(requests: Iterable[LockRequest]) -> int:
+    """Post-hoc per-key overlap check over completed lock requests.
+
+    Sorts each key's (grant, release) intervals and raises
+    :class:`~repro.errors.MutualExclusionViolation` on any overlap —
+    strictly: a grant at exactly the previous holder's release instant
+    is legal (the front end releases and re-grants in one event).
+    Returns the number of *distinct-key* overlapping pairs witnessed
+    (adjacent in global grant order), so callers can assert the service
+    actually ran keys concurrently. Incomplete requests are ignored.
+    """
+    by_key: Dict[str, List[LockRequest]] = {}
+    completed: List[LockRequest] = []
+    for request in requests:
+        if not request.complete:
+            continue
+        by_key.setdefault(request.key, []).append(request)
+        completed.append(request)
+
+    for key, rows in by_key.items():
+        rows.sort(key=lambda r: r.grant_time)  # type: ignore[arg-type, return-value]
+        for prev, cur in zip(rows, rows[1:]):
+            if cur.grant_time < prev.release_time:  # type: ignore[operator]
+                raise MutualExclusionViolation(
+                    f"key {key!r}: client {cur.client} granted at "
+                    f"t={cur.grant_time:.4f} overlaps client {prev.client} "
+                    f"held until t={prev.release_time:.4f}"
+                )
+
+    # Concurrency witness: count adjacent grant pairs (global grant
+    # order) whose hold intervals overlap — necessarily distinct keys,
+    # since same-key overlaps were just excluded.
+    completed.sort(key=lambda r: (r.grant_time, r.key))  # type: ignore[arg-type, return-value]
+    overlaps = 0
+    for prev, cur in zip(completed, completed[1:]):
+        if cur.grant_time < prev.release_time:  # type: ignore[operator]
+            overlaps += 1
+    return overlaps

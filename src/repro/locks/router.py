@@ -1,0 +1,82 @@
+"""Deterministic key placement: named lock → shard → home site.
+
+The lock service arbitrates millions of *named* locks with a handful of
+mutex instances by hashing every key onto one of ``K`` shards. Two
+placement decisions ride on the hash:
+
+* **shard** — which of the ``K`` independent mutex instances arbitrates
+  the key;
+* **home site** — which of the shard's ``N`` protocol sites serves as
+  the key's front end under affinity routing, so repeat acquires of a
+  hot key land on the site that already holds (or recently held) the
+  shard's authorization.
+
+Both must be *stable*: the same key maps to the same shard in every
+process, on every platform, across interpreter restarts. Python's
+built-in ``hash()`` is randomized per process (``PYTHONHASHSEED``), so
+placement uses BLAKE2s over the UTF-8 key bytes instead — a keyed,
+documented function with no process-local state.
+
+Balance contract (documented bound, pinned by
+``tests/property/test_shard_router_props.py``): for ``m >= 256 * K``
+uniformly random keys the empirical hotspot factor
+``max_shard_load / mean_shard_load`` stays below ``1.5``. (The loads
+are Binomial(m, 1/K); at ``m = 256 K`` the relative standard deviation
+is 1/16, so 1.5 is an ~8-sigma bound — misses mean a broken hash, not
+bad luck.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ShardRouter", "stable_key_hash"]
+
+
+def stable_key_hash(key: str, salt: str = "") -> int:
+    """64-bit hash of ``key``, stable across processes and platforms.
+
+    ``salt`` (at most 8 ASCII bytes) derives independent placement
+    streams from one key — the router uses ``""`` for the shard choice
+    and ``"site"`` for the home-site choice, so the two coordinates are
+    uncorrelated.
+    """
+    digest = hashlib.blake2s(
+        key.encode("utf-8"), digest_size=8, salt=salt.encode("ascii")
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ShardRouter:
+    """Maps named locks onto ``shards`` independent mutex instances."""
+
+    __slots__ = ("shards", "n_sites")
+
+    def __init__(self, shards: int, n_sites: int = 1) -> None:
+        if shards < 1:
+            raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        if n_sites < 1:
+            raise ConfigurationError(f"n_sites must be >= 1, got {n_sites}")
+        self.shards = shards
+        self.n_sites = n_sites
+
+    def shard_of(self, key: str) -> int:
+        """The shard whose mutex instance arbitrates ``key``."""
+        return stable_key_hash(key) % self.shards
+
+    def home_site(self, key: str) -> int:
+        """The key's affinity front-end site within its shard.
+
+        Hashed with an independent salt so keys sharing a shard still
+        spread across the shard's sites.
+        """
+        return stable_key_hash(key, salt="site") % self.n_sites
+
+    def place(self, key: str) -> "tuple[int, int]":
+        """``(shard, home_site)`` for ``key`` in one call."""
+        return self.shard_of(key), self.home_site(key)
+
+    def __repr__(self) -> str:
+        return f"ShardRouter(shards={self.shards}, n_sites={self.n_sites})"

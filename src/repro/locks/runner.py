@@ -1,0 +1,290 @@
+"""Configured lock-service runs: build, drive, verify, summarize.
+
+Mirrors :mod:`repro.experiments.runner` for the multi-resource layer.
+:class:`LockRunConfig` is deliberately scalar-only (strings, ints,
+floats, bools): it pickles across worker processes unchanged, and two
+equal configs are guaranteed to describe byte-identical runs — the
+sampler, arrival process, and delay model are constructed *inside*
+:func:`run_lock_service` from named RNG streams, never passed in as
+live objects.
+
+Determinism contract (pinned by ``tests/test_lock_service.py``): the
+whole client population is materialized up front from two dedicated
+streams — ``locks/arrivals`` for the submission times, then
+``locks/population`` for the (client, key) draws — so the schedule is a
+pure function of the config and never interleaves with protocol RNG
+usage during the run. Same config + seed ⇒ byte-identical summary
+dict, whether the trial runs inline, in a worker process, or through
+:class:`repro.parallel.TrialPool` at any worker count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.locks.service import LockService
+from repro.sim.network import ConstantDelay
+from repro.sim.simulator import Simulator
+from repro.workload.arrivals import PoissonArrivals, UniformKeys, ZipfKeys
+
+__all__ = [
+    "LockRunConfig",
+    "LockRunResult",
+    "LockServiceSummary",
+    "run_lock_service",
+    "run_lock_configs",
+]
+
+
+@dataclass
+class LockRunConfig:
+    """Declarative description of one lock-service run (scalars only)."""
+
+    algorithm: str = "cao-singhal"
+    n_sites: int = 9
+    shards: int = 4
+    quorum: Optional[str] = None  # defaulted per-algorithm ("grid")
+    seed: int = 0
+    #: Name space: keys are ``lock-0 .. lock-{n_keys-1}``.
+    n_keys: int = 1_000
+    #: Open-loop client population multiplexing acquires onto the sites.
+    n_clients: int = 16
+    #: Total acquire rate across the population (requests per time unit).
+    arrival_rate: float = 2.0
+    n_requests: int = 500
+    hold_duration: float = 0.05
+    #: ``0`` = uniform key popularity; ``> 0`` = Zipf exponent ``s``.
+    key_skew: float = 0.0
+    routing: str = "affinity"
+    batch_max: int = 8
+    lease: bool = True
+    lease_window: float = 2.0
+    #: Mean one-way delay ``T`` (scalar ⇒ ConstantDelay, keeps configs
+    #: picklable; richer delay models go through LockService directly).
+    delay: float = 1.0
+    max_time: float = 1_000_000.0
+    max_events: int = 20_000_000
+    verify: bool = True
+
+    def effective_lease_window(self) -> float:
+        return self.lease_window if self.lease else 0.0
+
+    def make_sampler(self):
+        """Key-popularity sampler implied by ``key_skew``."""
+        if self.key_skew > 0:
+            return ZipfKeys(self.n_keys, s=self.key_skew)
+        return UniformKeys(self.n_keys)
+
+    def run_trial(self) -> "LockServiceSummary":
+        """Entry point :class:`repro.parallel.TrialPool` dispatches to."""
+        return run_lock_service(self).summary
+
+
+@dataclass
+class LockServiceSummary:
+    """Scalar digest of one lock-service run (stable, picklable)."""
+
+    algorithm: str
+    shards: int
+    n_sites: int
+    n_keys: int
+    n_clients: int
+    seed: int
+    key_skew: float
+    routing: str
+    lease_window: float
+    batch_max: int
+    submitted: int
+    completed: int
+    violations: int
+    duration: float
+    messages_sent: int
+    messages_per_acquire: float
+    quorum_rounds: int
+    lease_hits: int
+    lease_hit_rate: float
+    lease_expiries: int
+    batches: int
+    coalesced_batches: int
+    mean_wait: float
+    p95_wait: float
+    peak_concurrent_keys: int
+    distinct_key_overlaps: int
+    hotspot_factor: float
+    shard_loads: List[int] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form; byte-stable under ``json.dumps(sort_keys=True)``."""
+        out: Dict[str, object] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            out[name] = list(value) if isinstance(value, list) else value
+        return out
+
+    def describe(self) -> str:
+        """One-paragraph human summary for the CLI."""
+        return (
+            f"{self.algorithm}: {self.completed}/{self.submitted} acquires "
+            f"over {self.shards} shards x {self.n_sites} sites "
+            f"({self.n_keys} keys, skew={self.key_skew:g}, "
+            f"routing={self.routing})\n"
+            f"  messages/acquire: {self.messages_per_acquire:.2f} "
+            f"({self.messages_sent} total, {self.quorum_rounds} quorum "
+            f"rounds, {self.lease_hits} lease hits = "
+            f"{100 * self.lease_hit_rate:.1f}%)\n"
+            f"  wait: mean {self.mean_wait:.3f} / p95 {self.p95_wait:.3f}; "
+            f"peak concurrent keys {self.peak_concurrent_keys}; "
+            f"shard hotspot {self.hotspot_factor:.2f}; "
+            f"violations {self.violations}"
+        )
+
+
+@dataclass
+class LockRunResult:
+    """Summary plus the live artifacts tests poke at."""
+
+    summary: LockServiceSummary
+    sim: Simulator
+    service: LockService
+
+
+def _validate(config: LockRunConfig) -> None:
+    if config.n_keys < 1:
+        raise ConfigurationError(f"n_keys must be >= 1, got {config.n_keys}")
+    if config.n_clients < 1:
+        raise ConfigurationError(
+            f"n_clients must be >= 1, got {config.n_clients}"
+        )
+    if config.n_requests < 1:
+        raise ConfigurationError(
+            f"n_requests must be >= 1, got {config.n_requests}"
+        )
+    if config.hold_duration <= 0:
+        raise ConfigurationError(
+            f"hold_duration must be positive, got {config.hold_duration}"
+        )
+    if config.key_skew < 0:
+        raise ConfigurationError(
+            f"key_skew must be >= 0, got {config.key_skew}"
+        )
+    # arrival_rate / routing / batch_max / lease_window are validated by
+    # PoissonArrivals and LockService respectively.
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(math.ceil(q * len(sorted_values))) - 1)
+    return sorted_values[max(0, index)]
+
+
+def run_lock_service(config: LockRunConfig) -> LockRunResult:
+    """Run one configured lock-service simulation to completion.
+
+    Builds the service, installs the open-loop client population,
+    drains the simulator, verifies per-shard and per-key mutual
+    exclusion (when ``config.verify``), and digests the run.
+    """
+    _validate(config)
+    sim = Simulator(seed=config.seed, delay_model=ConstantDelay(config.delay))
+    service = LockService(
+        sim,
+        algorithm=config.algorithm,
+        shards=config.shards,
+        n_sites=config.n_sites,
+        quorum=config.quorum,
+        batch_max=config.batch_max,
+        lease_window=config.effective_lease_window(),
+        routing=config.routing,
+    )
+
+    # The population is materialized up front from dedicated streams —
+    # see the module docstring's determinism contract.
+    arrival_rng = sim.rng("locks/arrivals")
+    times = list(
+        islice(
+            PoissonArrivals(config.arrival_rate).times(arrival_rng, math.inf),
+            config.n_requests,
+        )
+    )
+    population_rng = sim.rng("locks/population")
+    sampler = config.make_sampler()
+    for when in times:
+        client = population_rng.randrange(config.n_clients)
+        key = f"lock-{sampler.sample(population_rng)}"
+        sim.schedule_call(
+            when, service.acquire, (client, key, config.hold_duration), "acquire"
+        )
+
+    sim.start()
+    sim.run(until=config.max_time, max_events=config.max_events)
+
+    overlaps = 0
+    if config.verify:
+        if sim.pending_events() != 0:
+            raise ConfigurationError(
+                f"lock run hit its safety cap (time={sim.now:.1f}, "
+                f"events={sim.events_processed}); raise max_time/max_events "
+                "or shrink the workload"
+            )
+        overlaps = service.verify()
+        if len(service.completed) != config.n_requests:
+            raise ConfigurationError(
+                f"run drained with {len(service.completed)} of "
+                f"{config.n_requests} acquires served"
+            )
+
+    stats = service.stats
+    waits = sorted(r.wait_time for r in service.completed)
+    completed = len(waits)
+    summary = LockServiceSummary(
+        algorithm=config.algorithm,
+        shards=config.shards,
+        n_sites=config.n_sites,
+        n_keys=config.n_keys,
+        n_clients=config.n_clients,
+        seed=config.seed,
+        key_skew=config.key_skew,
+        routing=config.routing,
+        lease_window=config.effective_lease_window(),
+        batch_max=config.batch_max,
+        submitted=stats.acquires,
+        completed=completed,
+        violations=0,  # verify() raises on any; a summary implies zero
+        duration=sim.last_event_time,
+        messages_sent=sim.network.stats.messages_sent,
+        messages_per_acquire=(
+            sim.network.stats.messages_sent / completed if completed else 0.0
+        ),
+        quorum_rounds=stats.quorum_rounds,
+        lease_hits=stats.lease_hits,
+        lease_hit_rate=(stats.lease_hits / completed if completed else 0.0),
+        lease_expiries=stats.lease_expiries,
+        batches=stats.batches,
+        coalesced_batches=stats.coalesced_batches,
+        mean_wait=(sum(waits) / completed if completed else 0.0),
+        p95_wait=_percentile(waits, 0.95),
+        peak_concurrent_keys=service.checker.peak_concurrent_keys,
+        distinct_key_overlaps=overlaps,
+        hotspot_factor=service.hotspot_factor(),
+        shard_loads=list(service.shard_loads),
+    )
+    return LockRunResult(summary=summary, sim=sim, service=service)
+
+
+def run_lock_configs(
+    configs: "List[LockRunConfig]",
+    workers: Optional[int] = None,
+) -> List[LockServiceSummary]:
+    """Run a grid of lock configs through the parallel trial engine.
+
+    Summaries come back in input order whatever the worker count (the
+    same merge discipline as :func:`repro.experiments.runner.run_many`).
+    """
+    from repro.parallel.pool import TrialPool
+
+    return TrialPool(workers=workers).run_configs(configs)

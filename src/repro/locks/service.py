@@ -1,0 +1,251 @@
+"""The sharded multi-resource lock service.
+
+:class:`LockService` turns the repo's single-resource mutual-exclusion
+kernel into a named-lock service: string keys (thousands to millions)
+hash onto ``K`` *independent* mutex instances — one per shard, each
+running unmodified registry algorithms over a
+:class:`~repro.locks.substrate.ShardView` of one shared simulator — and
+every acquire is multiplexed onto one of the shard's ``N`` protocol
+sites through a :class:`~repro.locks.frontend.ShardFrontEnd` (batching,
+coalescing, lease cache).
+
+Routing policies for picking the front-end site:
+
+* ``"affinity"`` (default) — the key's stable home site
+  (:meth:`~repro.locks.router.ShardRouter.home_site`), so repeat
+  acquires of a hot key land where the authorization already lives and
+  hit the lease cache;
+* ``"client"`` — ``client % N``, the classic proxy placement: each
+  client talks to one site regardless of key. Spreads load evenly but
+  makes hot keys ping-pong the shard CS between sites.
+
+Layering: the service owns routing, per-key accounting, and online
+conformance (:class:`~repro.locks.conformance.KeyConformanceChecker`);
+the front ends own the CS-hold discipline; the mutex sites stay exactly
+the paper's protocols.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.locks.conformance import (
+    KeyConformanceChecker,
+    check_key_mutual_exclusion,
+)
+from repro.locks.frontend import LockRequest, ShardFrontEnd
+from repro.locks.router import ShardRouter
+from repro.locks.substrate import ShardView
+from repro.metrics.collector import MetricsCollector
+from repro.mutex.base import RunListener
+from repro.mutex.registry import get_algorithm_spec
+from repro.quorums.registry import make_quorum_system
+from repro.sim.simulator import Simulator
+from repro.substrate import SiteId
+
+__all__ = ["LockService", "LockStats"]
+
+ROUTING_POLICIES = ("affinity", "client")
+
+
+class LockStats:
+    """Service-level counters (protocol work vs. lease/batch savings)."""
+
+    __slots__ = (
+        "acquires",
+        "grants",
+        "releases",
+        "quorum_rounds",
+        "lease_hits",
+        "lease_expiries",
+        "batches",
+        "coalesced_batches",
+    )
+
+    def __init__(self) -> None:
+        self.acquires = 0
+        self.grants = 0
+        self.releases = 0
+        #: Mutex requests actually submitted to shard protocol sites —
+        #: each one costs a full quorum round of messages.
+        self.quorum_rounds = 0
+        #: Acquires served under a retained authorization (zero messages).
+        self.lease_hits = 0
+        self.lease_expiries = 0
+        self.batches = 0
+        #: Follow-on batches served under one grant (no extra protocol).
+        self.coalesced_batches = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class _ShardListener(RunListener):
+    """Per-shard mutex listener: metrics plus grant dispatch.
+
+    Records the shard's CS lifecycle into a plain
+    :class:`MetricsCollector` (so the standard single-resource
+    mutual-exclusion checker can audit each shard's intervals) and
+    forwards every ``on_enter`` to the granted site's front end, which
+    is what hands the authorization to the batching layer.
+    """
+
+    def __init__(self, collector: MetricsCollector) -> None:
+        self.collector = collector
+        self.front_ends: Dict[SiteId, ShardFrontEnd] = {}
+
+    def on_request(self, site: SiteId, time: float) -> None:
+        self.collector.on_request(site, time)
+
+    def on_enter(self, site: SiteId, time: float) -> None:
+        self.collector.on_enter(site, time)
+        self.front_ends[site].on_granted()
+
+    def on_exit(self, site: SiteId, time: float) -> None:
+        self.collector.on_exit(site, time)
+
+    def on_abandon(self, site: SiteId, time: float) -> None:
+        self.collector.on_abandon(site, time)
+
+
+class LockService:
+    """Named locks over ``shards`` independent mutex instances."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        algorithm: str = "cao-singhal",
+        shards: int = 4,
+        n_sites: int = 9,
+        quorum: Optional[str] = None,
+        batch_max: int = 8,
+        lease_window: float = 0.0,
+        routing: str = "affinity",
+    ) -> None:
+        if batch_max < 1:
+            raise ConfigurationError(f"batch_max must be >= 1, got {batch_max}")
+        if lease_window < 0:
+            raise ConfigurationError(
+                f"lease_window must be >= 0, got {lease_window}"
+            )
+        if routing not in ROUTING_POLICIES:
+            raise ConfigurationError(
+                f"unknown routing policy {routing!r}; "
+                f"known: {', '.join(ROUTING_POLICIES)}"
+            )
+        spec = get_algorithm_spec(algorithm)
+        if spec.needs_quorum:
+            quorum_name: Optional[str] = quorum or "grid"
+        elif quorum is not None:
+            raise ConfigurationError(
+                f"algorithm {algorithm!r} does not take a quorum"
+            )
+        else:
+            quorum_name = None
+        # One quorum system shared by every shard: the construction is a
+        # pure function of n_sites, and sites only read from it.
+        quorum_system = (
+            make_quorum_system(quorum_name, n_sites) if quorum_name else None
+        )
+        if quorum_system is not None:
+            quorum_system.validate()
+
+        self.sim = sim
+        self.algorithm = algorithm
+        self.routing = routing
+        self.router = ShardRouter(shards, n_sites)
+        self.stats = LockStats()
+        self.checker = KeyConformanceChecker()
+        #: Every acquire ever routed, in submission order.
+        self.requests: List[LockRequest] = []
+        #: Per-shard completed-acquire counts (load-balance signal).
+        self.shard_loads: List[int] = [0] * shards
+        self.views: List[ShardView] = []
+        self.collectors: List[MetricsCollector] = []
+        self.front_ends: List[List[ShardFrontEnd]] = []
+        for index in range(shards):
+            view = ShardView(sim, index, n_sites)
+            collector = MetricsCollector()
+            listener = _ShardListener(collector)
+            fronts: List[ShardFrontEnd] = []
+            for site_id in range(n_sites):
+                site = spec.factory(
+                    site_id, n_sites, quorum_system, None, listener
+                )
+                view.add_node(site)
+                front = ShardFrontEnd(self, view, site, batch_max, lease_window)
+                fronts.append(front)
+                listener.front_ends[site_id] = front
+            self.views.append(view)
+            self.collectors.append(collector)
+            self.front_ends.append(fronts)
+
+    # -- client API ------------------------------------------------------------
+
+    def acquire(self, client: int, key: str, hold: float) -> LockRequest:
+        """Route one client's acquire of named lock ``key``.
+
+        Returns the live :class:`LockRequest`; its ``grant_time`` /
+        ``release_time`` fill in as the simulation serves it.
+        """
+        shard = self.router.shard_of(key)
+        if self.routing == "affinity":
+            site = self.router.home_site(key)
+        else:
+            site = client % self.router.n_sites
+        request = LockRequest(client, key, shard, site, hold, self.sim.now)
+        self.stats.acquires += 1
+        self.requests.append(request)
+        self.front_ends[shard][site].enqueue(request)
+        return request
+
+    # -- front-end callbacks -----------------------------------------------------
+
+    def on_grant(self, request: LockRequest) -> None:
+        self.checker.on_grant(request)
+        self.stats.grants += 1
+
+    def on_release(self, request: LockRequest) -> None:
+        self.checker.on_release(request)
+        self.stats.releases += 1
+        self.shard_loads[request.shard] += 1
+
+    # -- post-run accounting -------------------------------------------------------
+
+    @property
+    def completed(self) -> List[LockRequest]:
+        """Acquires that were granted and released, in submission order."""
+        return [r for r in self.requests if r.complete]
+
+    def messages_sent(self) -> int:
+        """Protocol messages the shards put on the shared network."""
+        return self.sim.network.stats.messages_sent
+
+    def hotspot_factor(self) -> float:
+        """``max / mean`` of per-shard completed load (1.0 = perfectly flat)."""
+        total = sum(self.shard_loads)
+        if total == 0:
+            return 0.0
+        mean = total / len(self.shard_loads)
+        return max(self.shard_loads) / mean
+
+    def verify(self) -> int:
+        """Audit the finished run; returns the distinct-key overlap count.
+
+        Three independent layers: the per-shard CS intervals through the
+        standard single-resource checker, the per-key intervals through
+        the post-hoc key checker, and the online checker's holding set
+        (must be empty once the run drains).
+        """
+        from repro.verify.invariants import check_mutual_exclusion
+
+        for collector in self.collectors:
+            check_mutual_exclusion(collector.records)
+        overlaps = check_key_mutual_exclusion(self.requests)
+        if self.checker.holding:
+            raise ConfigurationError(
+                f"run ended with {len(self.checker.holding)} keys still "
+                "held; the workload did not drain"
+            )
+        return overlaps

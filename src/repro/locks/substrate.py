@@ -1,0 +1,177 @@
+"""Shard-private substrate views: K mutex instances on one simulator.
+
+Every mutex algorithm in the registry is written against the narrow
+:class:`repro.substrate.Substrate` protocol and addresses its peers with
+local site ids ``0..N-1``. To run ``K`` *independent* instances of such
+an algorithm inside one discrete-event simulator, each shard gets a
+:class:`ShardView` — a translating substrate adapter that
+
+* offsets site ids by the shard's base (shard ``s``, site ``i`` occupies
+  global simulator node ``s*N + i``), so shards share the simulator's
+  clock, event queue, and modelled network without sharing any protocol
+  state;
+* registers a :class:`_ShardPort` proxy per site in the real simulator,
+  which translates the source id back to shard-local coordinates on
+  delivery.
+
+The protocol sites themselves are *unchanged* — they are constructed
+with local ids by the ordinary :mod:`repro.mutex.registry` factories and
+never learn that other shards exist. Cross-shard traffic is impossible
+by construction: a site can only name local ids, and the view maps those
+into its own ``N``-slot window.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.node import Node
+from repro.sim.simulator import Simulator
+from repro.substrate import SiteId, TimerHandle
+
+__all__ = ["ShardView"]
+
+
+class _ShardPort(Node):
+    """Simulator-facing proxy for one shard-local site.
+
+    Lives in the simulator's node table under the *global* id; forwards
+    deliveries and lifecycle hooks to the wrapped site with the source
+    id translated back into the shard's local space.
+    """
+
+    __slots__ = ("_base", "_inner")
+
+    def __init__(self, base: SiteId, inner: Node) -> None:
+        super().__init__(base + inner.site_id)
+        self._base = base
+        self._inner = inner
+
+    def on_start(self) -> None:
+        self._inner.on_start()
+
+    def on_message(self, src: SiteId, message: Any) -> None:
+        self._inner.on_message(src - self._base, message)
+
+    def on_crash(self) -> None:
+        self._inner.crashed = True
+        self._inner.on_crash()
+
+    def on_recover(self) -> None:
+        self._inner.crashed = False
+        self._inner.on_recover()
+
+
+class ShardView:
+    """One shard's private window onto a shared :class:`Simulator`.
+
+    Structurally satisfies :class:`repro.substrate.Substrate`: the
+    wrapped sites read the clock, set timers, and send messages through
+    it exactly as they would through the simulator itself, but every
+    site id crossing the boundary is offset by ``base``.
+
+    Tracing note: sites record protocol trace rows with their *local*
+    ids, so enabling the simulator trace under multiple shards
+    interleaves records from distinct id spaces. The lock service keeps
+    its own per-key records instead and leaves the kernel trace off.
+    """
+
+    __slots__ = ("sim", "index", "base", "n", "nodes", "trace")
+
+    def __init__(self, sim: Simulator, index: int, n: int) -> None:
+        self.sim = sim
+        self.index = index
+        self.base = index * n
+        self.n = n
+        #: Shard-local nodes by local site id (substrate interface).
+        self.nodes: Dict[SiteId, Node] = {}
+        self.trace = sim.trace
+
+    # -- construction --------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Host ``node`` (local id) in this shard's global id window."""
+        if not 0 <= node.site_id < self.n:
+            raise SimulationError(
+                f"shard {self.index} hosts local ids 0..{self.n - 1}, "
+                f"got {node.site_id}"
+            )
+        if node.site_id in self.nodes:
+            raise SimulationError(
+                f"duplicate local site id {node.site_id} in shard {self.index}"
+            )
+        self.sim.add_node(_ShardPort(self.base, node))
+        node.bind(self)
+        self.nodes[node.site_id] = node
+        return node
+
+    # -- substrate interface ---------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def schedule_call(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        args: Tuple[Any, ...] = (),
+        label: str = "",
+    ) -> TimerHandle:
+        return self.sim.schedule_call(delay, fn, args, label)
+
+    def send(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        message: Any,
+        type_name: str,
+        piggybacked: bool = False,
+    ) -> None:
+        self.sim.send(
+            self.base + src, self.base + dst, message, type_name, piggybacked
+        )
+
+    def raw_send(
+        self,
+        src: SiteId,
+        dst: SiteId,
+        frame: Any,
+        type_name: str,
+        piggybacked: bool = False,
+    ) -> None:
+        self.sim.raw_send(
+            self.base + src, self.base + dst, frame, type_name, piggybacked
+        )
+
+    def deliver_local(self, site: SiteId, message: Any) -> None:
+        """Self-send exit: ``site`` is shard-local (the node's own id)."""
+        node = self.nodes[site]
+        if node.crashed:
+            return
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.record(self.sim.now, "deliver-local", self.base + site, message)
+        node.on_message(site, message)
+
+    def deliver_protocol(self, src: SiteId, dst: SiteId, message: Any) -> None:
+        """Transport exit for a shard-bound transport (global ids)."""
+        node = self.nodes[dst - self.base]
+        if node.crashed:
+            return
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.record(self.sim.now, "deliver", dst, message)
+        node.on_message(src - self.base, message)
+
+    def is_crashed(self, site: SiteId) -> bool:
+        return self.nodes[site].crashed
+
+    def rng(self, name: str) -> random.Random:
+        """Shard-qualified stream so shards never share randomness."""
+        return self.sim.rng(f"lockshard{self.index}/{name}")
+
+    def __repr__(self) -> str:
+        return f"ShardView(index={self.index}, base={self.base}, n={self.n})"

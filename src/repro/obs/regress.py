@@ -18,6 +18,13 @@ which direction is bad and how much drift the noise floor allows:
   messages/CS and retransmits/CS (lower), throughput (higher).
 * ``parallel_engine`` — ``sync_delay_mean_t`` only (the timing fields
   measure the host, not the code).
+* ``lock_service`` — the sharded named-lock acceptance run:
+  ``completed`` is exact and ``violations`` bounded to zero (per-key
+  mutual exclusion is a theorem, not a trend), messages/acquire lower
+  is better, and ``lease_reduction_pct`` must stay positive — the
+  hot-key lease cache beating its lease-off control is part of the
+  layer's contract, checked absolutely so it holds even against a
+  freshly regenerated baseline.
 
 Timing metrics default to a generous threshold (CI containers are noisy);
 exact and bounded metrics ignore the threshold entirely.
@@ -159,6 +166,21 @@ def _extract_parallel(payload: Dict[str, Any]) -> Dict[str, float]:
     return {"sync_delay_mean_t": float(payload["sync_delay_mean_t"])}
 
 
+def _extract_lock_service(payload: Dict[str, Any]) -> Dict[str, float]:
+    return {
+        "completed": float(payload["completed"]),
+        "violations": float(payload["violations"]),
+        "messages_per_acquire_lease_on": float(
+            payload["messages_per_acquire_lease_on"]
+        ),
+        "messages_per_acquire_lease_off": float(
+            payload["messages_per_acquire_lease_off"]
+        ),
+        "lease_reduction_pct": float(payload["lease_reduction_pct"]),
+        "shard_hotspot": float(payload["shard_hotspot"]),
+    }
+
+
 def _chaos_spec(metric: str) -> MetricSpec:
     if metric.endswith("/throughput"):
         return MetricSpec(direction="higher")
@@ -184,6 +206,23 @@ BENCHMARKS: Dict[str, Tuple[Extractor, Any]] = {
     "parallel_engine": (
         _extract_parallel,
         {"sync_delay_mean_t": MetricSpec(direction="lower")},
+    ),
+    "lock_service": (
+        _extract_lock_service,
+        {
+            # Deterministic for the pinned seed: any change is a changed
+            # schedule, not noise.
+            "completed": MetricSpec(direction="exact"),
+            "violations": MetricSpec(direction="exact", bounds=(0.0, 0.0)),
+            "messages_per_acquire_lease_on": MetricSpec(direction="lower"),
+            "messages_per_acquire_lease_off": MetricSpec(direction="lower"),
+            # Absolute floor: the lease cache must keep beating the
+            # lease-off control by a measurable margin.
+            "lease_reduction_pct": MetricSpec(
+                direction="higher", bounds=(5.0, 100.0)
+            ),
+            "shard_hotspot": MetricSpec(direction="lower"),
+        },
     ),
 }
 

@@ -159,7 +159,15 @@ class RunCache:
         self.stats = CacheStats()
 
     def key_for(self, config: RunConfig) -> Optional[str]:
-        """The config's fingerprint under this cache's salt (or ``None``)."""
+        """The config's fingerprint under this cache's salt (or ``None``).
+
+        Only :class:`RunConfig` trials are cacheable: :meth:`load`
+        reconstructs records as :class:`RunSummary`, so a foreign config
+        kind (e.g. a lock-service trial) must come back uncached rather
+        than mis-typed.
+        """
+        if not isinstance(config, RunConfig):
+            return None
         return fingerprint(config, salt=self.salt)
 
     def _path(self, key: str) -> pathlib.Path:

@@ -40,7 +40,10 @@ from repro.parallel.cache import RunCache
 WORKERS_ENV = "REPRO_WORKERS"
 
 #: One trial's outcome, shaped for transport across the process boundary.
-_Outcome = Tuple[str, Union[RunSummary, BaseException]]
+#: The payload is a RunSummary for mutex trials, an arbitrary picklable
+#: result for configs that define their own ``run_trial``, or the trial's
+#: exception.
+_Outcome = Tuple[str, Union[RunSummary, object, BaseException]]
 
 
 def resolve_workers(workers: Optional[int] = None) -> int:
@@ -76,8 +79,17 @@ def _run_trial(config: RunConfig) -> _Outcome:
     """Execute one trial; never raises, so outcomes survive pool transport.
 
     Module-level (not a closure) so worker processes can import it.
+
+    A config exposing its own ``run_trial()`` (e.g.
+    :class:`repro.locks.runner.LockRunConfig`) is dispatched to it —
+    the pool's determinism machinery (input-order merge, seed-attached
+    failures, pickling fallback) is trial-kind agnostic; only this entry
+    point and the cache key care what a trial actually runs.
     """
     try:
+        runner = getattr(config, "run_trial", None)
+        if runner is not None:
+            return ("ok", runner())
         return ("ok", run_mutex(config).summary)
     except Exception as exc:  # re-raised, typed, by the merging parent
         return ("error", exc)
@@ -129,7 +141,7 @@ class TrialPool:
         failure: Optional[Tuple[int, BaseException]] = None
         for (i, config), (status, payload) in zip(pending, outcomes):
             if status == "ok":
-                assert isinstance(payload, RunSummary)
+                assert not isinstance(payload, BaseException)
                 results[i] = payload
                 if self.cache is not None and keys[i] is not None:
                     self.cache.store(keys[i], payload)

@@ -1,10 +1,13 @@
-"""Workload generation: arrival processes, drivers, and named scenarios."""
+"""Workload generation: arrival processes, key samplers, drivers, scenarios."""
 
 from repro.workload.arrivals import (
     ArrivalProcess,
     BurstArrivals,
+    KeySampler,
     PeriodicArrivals,
     PoissonArrivals,
+    UniformKeys,
+    ZipfKeys,
 )
 from repro.workload.driver import (
     OpenLoopWorkload,
@@ -17,12 +20,15 @@ from repro.workload.scenarios import heavy_load, light_load, moderate_load
 __all__ = [
     "ArrivalProcess",
     "BurstArrivals",
+    "KeySampler",
     "OpenLoopWorkload",
     "PeriodicArrivals",
     "PoissonArrivals",
     "SaturationWorkload",
     "StaggeredSingleShot",
+    "UniformKeys",
     "Workload",
+    "ZipfKeys",
     "heavy_load",
     "light_load",
     "moderate_load",

@@ -1,0 +1,98 @@
+"""Property tests for the lock-service shard router.
+
+The router is only sound if key placement is (1) deterministic across
+processes — Python's built-in ``hash()`` is randomized per process via
+``PYTHONHASHSEED``, so the router must not lean on it; (2) stable under
+service restarts that preserve the shard count — a key must not migrate
+because the router object was rebuilt; and (3) balanced within the
+documented bound — for ``m >= 256 * K`` uniform keys the hotspot factor
+``max/mean`` stays below 1.5 (an ~8-sigma bound on the binomial loads,
+so a miss means a broken hash, not bad luck).
+"""
+
+from __future__ import annotations
+
+import random
+import subprocess
+import sys
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.locks.router import ShardRouter, stable_key_hash
+
+keys = st.text(min_size=0, max_size=64)
+shard_counts = st.integers(1, 64)
+site_counts = st.integers(1, 32)
+
+
+@given(key=keys, shards=shard_counts, n_sites=site_counts)
+def test_placement_is_deterministic_and_in_range(key, shards, n_sites):
+    router = ShardRouter(shards, n_sites)
+    shard, site = router.place(key)
+    assert 0 <= shard < shards
+    assert 0 <= site < n_sites
+    assert (shard, site) == router.place(key)
+
+
+@given(key=keys, shards=shard_counts, n_sites=site_counts)
+def test_placement_survives_router_reconstruction(key, shards, n_sites):
+    """A shard-count-preserving restart never migrates a key."""
+    before = ShardRouter(shards, n_sites).place(key)
+    after = ShardRouter(shards, n_sites).place(key)
+    assert before == after
+
+
+@given(key=keys, shards=shard_counts)
+def test_site_count_never_moves_the_shard(key, shards):
+    """Resizing the per-shard site pool must not reshard the key space."""
+    assert (
+        ShardRouter(shards, n_sites=1).shard_of(key)
+        == ShardRouter(shards, n_sites=9).shard_of(key)
+    )
+
+
+@given(key=keys)
+def test_salt_derives_an_independent_stream(key):
+    # Equal keys, different salts: the two placement coordinates must
+    # come from different hash streams (64-bit collision ~ never).
+    assert stable_key_hash(key) != stable_key_hash(key, salt="site")
+
+
+@given(seed=st.integers(0, 2**32 - 1), shards=st.integers(2, 32))
+@settings(max_examples=25, deadline=None)
+def test_uniform_keys_balance_within_documented_bound(seed, shards):
+    """m >= 256*K uniform random keys -> hotspot max/mean < 1.5."""
+    rng = random.Random(seed)
+    m = 256 * shards
+    router = ShardRouter(shards)
+    loads = [0] * shards
+    for _ in range(m):
+        loads[router.shard_of(f"key-{rng.getrandbits(64):016x}")] += 1
+    mean = m / shards
+    assert max(loads) / mean < 1.5
+
+
+@settings(max_examples=3, deadline=None)
+@given(key=st.text(min_size=1, max_size=32), shards=st.integers(1, 64))
+def test_placement_stable_across_processes_and_hash_seeds(key, shards):
+    """The same key lands on the same shard in a fresh interpreter with a
+    different PYTHONHASHSEED — the determinism the on-disk name space
+    relies on."""
+    code = (
+        "import sys; sys.path.insert(0, 'src')\n"
+        "from repro.locks.router import ShardRouter\n"
+        f"print(ShardRouter({shards}).shard_of({key!r}))"
+    )
+    results = set()
+    for hash_seed in ("0", "12345"):
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+            cwd=".",
+        )
+        assert out.returncode == 0, out.stderr
+        results.add(out.stdout.strip())
+    assert results == {str(ShardRouter(shards).shard_of(key))}

@@ -1,15 +1,23 @@
-"""Unit tests for arrival processes and workload drivers."""
+"""Unit tests for arrival processes, key samplers, and workload drivers."""
 
 from __future__ import annotations
 
+import math
 import random
+from collections import Counter
 
 import pytest
 
 from repro.errors import ConfigurationError
 from repro.mutex.base import MutexSite
 from repro.sim.simulator import Simulator
-from repro.workload.arrivals import BurstArrivals, PeriodicArrivals, PoissonArrivals
+from repro.workload.arrivals import (
+    BurstArrivals,
+    PeriodicArrivals,
+    PoissonArrivals,
+    UniformKeys,
+    ZipfKeys,
+)
 from repro.workload.driver import (
     OpenLoopWorkload,
     SaturationWorkload,
@@ -78,6 +86,76 @@ def test_burst_jitter_stays_in_window():
     for t in times:
         base = 5.0 * round(t / 5.0 - 0.049)
         assert 0 <= t - base <= 0.5 or t <= 20.0
+
+
+# -- key samplers ------------------------------------------------------------------
+
+
+def test_uniform_keys_cover_the_space():
+    sampler = UniformKeys(10)
+    rng = random.Random(3)
+    draws = [sampler.sample(rng) for _ in range(2000)]
+    assert set(draws) == set(range(10))
+    counts = Counter(draws)
+    assert max(counts.values()) / min(counts.values()) < 2.0
+
+
+def test_zipf_keys_seeded_reproducibility():
+    """Same seed, same draws — across independent sampler instances."""
+    a = [ZipfKeys(500, s=1.1).sample(random.Random(9)) for _ in range(1)]
+    first = ZipfKeys(500, s=1.1)
+    second = ZipfKeys(500, s=1.1)
+    draws_a = [first.sample(random.Random(9)) for _ in range(5)]
+    draws_b = [second.sample(random.Random(9)) for _ in range(5)]
+    assert draws_a == draws_b
+    rng_a, rng_b = random.Random(9), random.Random(9)
+    assert [first.sample(rng_a) for _ in range(200)] == [
+        second.sample(rng_b) for _ in range(200)
+    ]
+    assert a[0] == draws_a[0]
+
+
+def test_zipf_one_rng_draw_per_sample():
+    """The sampler consumes exactly one random() per draw, so seeded
+    streams shared with other consumers stay aligned."""
+    sampler = ZipfKeys(100, s=1.1)
+    rng = random.Random(4)
+    reference = random.Random(4)
+    for _ in range(50):
+        sampler.sample(rng)
+        reference.random()
+    assert rng.random() == reference.random()
+
+
+def test_zipf_skew_orders_popularity():
+    sampler = ZipfKeys(1000, s=1.1)
+    rng = random.Random(7)
+    counts = Counter(sampler.sample(rng) for _ in range(20_000))
+    # Rank 0 is the hottest key and popularity decays with rank.
+    assert counts[0] > counts[10] > counts[500]
+    assert sampler.popularity(0) > sampler.popularity(1) > sampler.popularity(999)
+    total = sum(sampler.popularity(r) for r in range(1000))
+    assert math.isclose(total, 1.0, rel_tol=1e-9)
+
+
+def test_zipf_draws_stay_in_range():
+    sampler = ZipfKeys(7, s=1.3)
+    rng = random.Random(11)
+    assert all(0 <= sampler.sample(rng) < 7 for _ in range(5000))
+
+
+def test_zipf_zero_exponent_is_uniform():
+    sampler = ZipfKeys(50, s=0.0)
+    assert math.isclose(sampler.popularity(0), sampler.popularity(49))
+
+
+def test_key_samplers_validate():
+    with pytest.raises(ConfigurationError):
+        UniformKeys(0)
+    with pytest.raises(ConfigurationError):
+        ZipfKeys(0)
+    with pytest.raises(ConfigurationError):
+        ZipfKeys(10, s=-1.0)
 
 
 # -- drivers ---------------------------------------------------------------------
