@@ -32,6 +32,7 @@ from repro.experiments import (
     run_heavy_load,
     run_light_load,
     run_load_sweep,
+    run_lock_chaos,
     run_lock_skew,
     run_lock_sweep,
     run_queueing,
@@ -75,6 +76,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentReport]] = {
     "E13": run_chaos_resilience,
     "E14": run_lock_sweep,
     "E15": run_lock_skew,
+    "E16": run_lock_chaos,
 }
 
 
@@ -420,6 +422,19 @@ def build_parser() -> argparse.ArgumentParser:
     locks_run.add_argument(
         "--lease-window", type=float, default=2.0, metavar="W",
         help="retention window in time units (with --lease)",
+    )
+    _add_chaos_args(locks_run)
+    locks_run.add_argument(
+        "--crash", type=int, default=0, metavar="N",
+        help="seeded crash/rejoin cycles per shard (distinct sites)",
+    )
+    locks_run.add_argument(
+        "--crash-downtime", type=float, default=30.0, metavar="D",
+        help="time until a crashed site rejoins (0 = permanent)",
+    )
+    locks_run.add_argument(
+        "--detect", type=float, default=2.0, metavar="D",
+        help="failure-detection latency for crash cycles",
     )
     locks_run.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
@@ -783,6 +798,7 @@ def cmd_locks(args: argparse.Namespace) -> int:
     # Imported here: no other subcommand needs the lock-service layer.
     from repro.locks import LockRunConfig, run_lock_service
 
+    fault_model, _, chaos = _fault_setup(args)
     config = LockRunConfig(
         algorithm=args.algorithm,
         shards=args.shards,
@@ -799,6 +815,12 @@ def cmd_locks(args: argparse.Namespace) -> int:
         batch_max=args.batch_max,
         lease=args.lease,
         lease_window=args.lease_window,
+        fault_model=fault_model,
+        reliable=args.reliable,
+        chaos=chaos,
+        crashes=args.crash,
+        crash_downtime=args.crash_downtime,
+        detection_delay=args.detect,
     )
     summary = run_lock_service(config).summary
     if args.json:

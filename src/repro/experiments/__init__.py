@@ -16,6 +16,7 @@ E12       Arbiter queue dynamics across the load range
 E13       Chaos resilience: degradation vs packet-loss rate
 E14       Lock-service scale sweep (lock count x client count)
 E15       Lock-service key skew: shard balance + lease-cache savings
+E16       Lock-service crash chaos: crash rate x detection latency
 ========  =============================================================
 """
 
@@ -28,6 +29,7 @@ from repro.experiments.heavy_load import run_heavy_load
 from repro.experiments.light_load import run_light_load
 from repro.experiments.load_balance import run_load_balance, run_lock_skew
 from repro.experiments.load_sweep import run_load_sweep
+from repro.experiments.lock_chaos import run_lock_chaos
 from repro.experiments.lock_sweep import run_lock_sweep
 from repro.experiments.queueing import run_queueing
 from repro.experiments.quorum_scaling import run_quorum_scaling
@@ -53,6 +55,7 @@ __all__ = [
     "run_light_load",
     "run_load_balance",
     "run_load_sweep",
+    "run_lock_chaos",
     "run_lock_skew",
     "run_lock_sweep",
     "run_mutex",

@@ -4,12 +4,22 @@ Named locks (string keys) hash onto ``K`` independent mutex instances —
 each an unmodified registry algorithm running over a shard-private
 substrate view of one simulator — with per-site front ends providing
 request batching, coalescing, and a Roucairol–Carvalho-style lease
-cache for hot keys. See ``docs/API.md`` for the layer map.
+cache for hot keys. Under crash faults the shard arbiters run the
+paper's Section 6 recovery protocol and the service adds client-side
+failover (seeded backoff retries, idempotent request ids) plus lease
+fencing. See ``docs/API.md`` for the layer map and DESIGN.md §10 for
+the failure model.
 """
 
 from repro.locks.conformance import (
     KeyConformanceChecker,
     check_key_mutual_exclusion,
+)
+from repro.locks.faults import (
+    RetryPolicy,
+    ShardCrashCycle,
+    derive_shard_crashes,
+    install_shard_churn,
 )
 from repro.locks.frontend import LockRequest, ShardFrontEnd
 from repro.locks.router import ShardRouter, stable_key_hash
@@ -31,10 +41,14 @@ __all__ = [
     "LockService",
     "LockServiceSummary",
     "LockStats",
+    "RetryPolicy",
+    "ShardCrashCycle",
     "ShardFrontEnd",
     "ShardRouter",
     "ShardView",
     "check_key_mutual_exclusion",
+    "derive_shard_crashes",
+    "install_shard_churn",
     "run_lock_configs",
     "run_lock_service",
     "stable_key_hash",

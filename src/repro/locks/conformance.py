@@ -16,15 +16,28 @@ distinct keys held at one instant, which conformance tests assert is
 ``> 1`` (a service that accidentally serialized everything through one
 global lock would pass the safety check and fail this one).
 
+Under crash faults the checker additionally owns the **fencing epochs**
+(DESIGN.md §10): each key has a monotonically increasing epoch, bumped
+by :meth:`KeyConformanceChecker.on_holder_crashed` whenever a lease
+holder's front end is declared failed. Grants are stamped with the
+epoch their key group was formed under, and :meth:`on_grant` refuses a
+stale token — a front end resuming from pre-crash state cannot serve a
+grant against a lease the service already revoked.
+
 :func:`check_key_mutual_exclusion` is the post-hoc flavour over recorded
 :class:`~repro.locks.frontend.LockRequest` rows — an independent
-re-derivation from the (grant, release) intervals, used by tests to
-cross-check the online verdict.
+re-derivation from the (grant, end) intervals, used by tests to
+cross-check the online verdict. A request's hold interval ends at its
+``release_time``, at its ``orphan_time`` when the holding front end
+crashed (a crash-orphaned hold is excused, not mis-reported as a
+violation), or extends to the end of time when the run stopped with the
+grant still live (explicitly, not via a ``None`` comparison).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+import math
+from typing import Dict, Iterable, List, Tuple
 
 from repro.errors import MutualExclusionViolation
 from repro.locks.frontend import LockRequest
@@ -33,14 +46,16 @@ __all__ = ["KeyConformanceChecker", "check_key_mutual_exclusion"]
 
 
 class KeyConformanceChecker:
-    """Online per-key mutual-exclusion monitor.
+    """Online per-key mutual-exclusion and lease-fencing monitor.
 
     The service calls :meth:`on_grant` / :meth:`on_release` for every
-    lock transition; the checker maintains the set of currently held
-    keys and fails fast on a double grant.
+    lock transition and :meth:`on_holder_crashed` when a holder's front
+    end dies; the checker maintains the set of currently held keys plus
+    the per-key fencing epochs and fails fast on a double grant or a
+    stale fencing token.
     """
 
-    __slots__ = ("holding", "peak_concurrent_keys", "grants")
+    __slots__ = ("holding", "peak_concurrent_keys", "grants", "fences")
 
     def __init__(self) -> None:
         #: Currently held keys → the request holding each.
@@ -49,8 +64,21 @@ class KeyConformanceChecker:
         #: concurrency witness (must exceed 1 under a parallel workload).
         self.peak_concurrent_keys = 0
         self.grants = 0
+        #: Per-key fencing epoch; absent means 0 (never revoked).
+        self.fences: Dict[str, int] = {}
+
+    def fence_of(self, key: str) -> int:
+        """Current fencing epoch for ``key`` (0 until first revocation)."""
+        return self.fences.get(key, 0)
 
     def on_grant(self, request: LockRequest) -> None:
+        expected = self.fences.get(request.key, 0)
+        if request.fence != expected:
+            raise MutualExclusionViolation(
+                f"key {request.key!r} granted to client {request.client} "
+                f"under stale fencing epoch {request.fence} (current "
+                f"{expected}): a crashed front end served a revoked lease"
+            )
         holder = self.holding.get(request.key)
         if holder is not None:
             raise MutualExclusionViolation(
@@ -73,42 +101,79 @@ class KeyConformanceChecker:
             )
         del self.holding[request.key]
 
+    def on_holder_crashed(self, request: LockRequest) -> None:
+        """Revoke ``request``'s live hold: its front end died.
+
+        Removes the orphaned hold from the holding set (the key is
+        grantable again once the shard CS recovers) and bumps the key's
+        fencing epoch, so any grant still carrying the pre-crash token
+        is refused by :meth:`on_grant`.
+        """
+        holder = self.holding.get(request.key)
+        if holder is request:
+            del self.holding[request.key]
+        self.fences[request.key] = self.fences.get(request.key, 0) + 1
+
+
+def _hold_interval(request: LockRequest) -> Tuple[float, float]:
+    """(grant, end) of a granted request's hold, with the end explicit.
+
+    ``release_time`` when the hold completed; ``orphan_time`` when the
+    granting front end crashed mid-hold (the lease was fenced off at
+    that instant, so the hold verifiably ended there); ``+inf`` when the
+    run stopped with the grant still live (an unreleased hold conflicts
+    with every later grant of its key).
+    """
+    assert request.grant_time is not None
+    if request.release_time is not None:
+        return request.grant_time, request.release_time
+    if request.orphan_time is not None:
+        return request.grant_time, request.orphan_time
+    return request.grant_time, math.inf
+
 
 def check_key_mutual_exclusion(requests: Iterable[LockRequest]) -> int:
-    """Post-hoc per-key overlap check over completed lock requests.
+    """Post-hoc per-key overlap check over recorded lock requests.
 
-    Sorts each key's (grant, release) intervals and raises
+    Sorts each key's (grant, end) hold intervals and raises
     :class:`~repro.errors.MutualExclusionViolation` on any overlap —
-    strictly: a grant at exactly the previous holder's release instant
-    is legal (the front end releases and re-grants in one event).
-    Returns the number of *distinct-key* overlapping pairs witnessed
-    (adjacent in global grant order), so callers can assert the service
-    actually ran keys concurrently. Incomplete requests are ignored.
+    strictly: a grant at exactly the previous holder's end instant is
+    legal (the front end releases and re-grants in one event). Requests
+    that were never granted (still queued, or aborted by the retry
+    layer) hold nothing and are skipped; granted requests participate
+    with the explicit interval end of :func:`_hold_interval`, so
+    crash-orphaned holds are excused at their orphan instant rather than
+    mis-reported as violations. Returns the number of *distinct-key*
+    overlapping pairs witnessed among *completed* requests (adjacent in
+    global grant order), so callers can assert the service actually ran
+    keys concurrently.
     """
-    by_key: Dict[str, List[LockRequest]] = {}
-    completed: List[LockRequest] = []
+    by_key: Dict[str, List[Tuple[float, float, LockRequest]]] = {}
+    completed: List[Tuple[float, float, str]] = []
     for request in requests:
-        if not request.complete:
+        if not request.granted:
             continue
-        by_key.setdefault(request.key, []).append(request)
-        completed.append(request)
+        grant, end = _hold_interval(request)
+        by_key.setdefault(request.key, []).append((grant, end, request))
+        if request.complete:
+            completed.append((grant, end, request.key))
 
     for key, rows in by_key.items():
-        rows.sort(key=lambda r: r.grant_time)  # type: ignore[arg-type, return-value]
-        for prev, cur in zip(rows, rows[1:]):
-            if cur.grant_time < prev.release_time:  # type: ignore[operator]
+        rows.sort(key=lambda row: row[0])
+        for (_, prev_end, prev), (cur_grant, _, cur) in zip(rows, rows[1:]):
+            if cur_grant < prev_end:
                 raise MutualExclusionViolation(
                     f"key {key!r}: client {cur.client} granted at "
-                    f"t={cur.grant_time:.4f} overlaps client {prev.client} "
-                    f"held until t={prev.release_time:.4f}"
+                    f"t={cur_grant:.4f} overlaps client {prev.client} "
+                    f"held until t={prev_end:.4f}"
                 )
 
     # Concurrency witness: count adjacent grant pairs (global grant
     # order) whose hold intervals overlap — necessarily distinct keys,
     # since same-key overlaps were just excluded.
-    completed.sort(key=lambda r: (r.grant_time, r.key))  # type: ignore[arg-type, return-value]
+    completed.sort()
     overlaps = 0
-    for prev, cur in zip(completed, completed[1:]):
-        if cur.grant_time < prev.release_time:  # type: ignore[operator]
+    for (_, prev_end, _), (cur_grant, _, _) in zip(completed, completed[1:]):
+        if cur_grant < prev_end:
             overlaps += 1
     return overlaps

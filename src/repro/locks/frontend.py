@@ -31,12 +31,25 @@ in the same shard's CS (excluded by the shard mutex — every algorithm
 in the registry is verified for exactly this) or one front end granting
 a key twice concurrently (excluded by the same-key serialization in
 :meth:`ShardFrontEnd._serve_batch`).
+
+Crash handling (DESIGN.md §10): when the hosted site crashes, the front
+end cancels every pending hold/lease timer (timers scheduled through
+``view.schedule_call`` are raw simulator events, *not* crash-suppressed
+like ``Node.set_timer`` — an uncancelled lease timer would release a CS
+the recovered site no longer holds) and hands its work back to the
+service split two ways: *stranded* acquires (queued or batched but not
+yet granted) for failover to a surviving site, and *orphaned* holds
+(granted, unreleased) whose leases the service revokes by bumping the
+per-key fencing epoch. Every grant is stamped with the fencing epoch
+captured when its key group was formed, so a stale front end replaying
+pre-crash state cannot serve a grant against a revoked lease — the
+online checker refuses the stale token.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Deque, List, Optional
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
 
 from collections import deque
 
@@ -46,12 +59,22 @@ from repro.mutex.base import MutexSite
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.locks.service import LockService
     from repro.locks.substrate import ShardView
+    from repro.substrate import TimerHandle
 
 __all__ = ["LockRequest", "ShardFrontEnd"]
 
 
 class LockRequest:
-    """One client's acquire of one named lock, from submit to release."""
+    """One client's acquire of one named lock, from submit to resolution.
+
+    A request resolves one of three ways: *completed* (granted and
+    released), *orphaned* (granted, then its front end crashed mid-hold
+    — the lease is fenced off at ``orphan_time``), or *aborted* (never
+    granted before the retry budget or deadline ran out). ``request_id``
+    is the idempotence token: re-submissions after a failover carry the
+    same id, and the service drops duplicates so a retried acquire can
+    never be granted twice.
+    """
 
     __slots__ = (
         "client",
@@ -62,11 +85,16 @@ class LockRequest:
         "submit_time",
         "grant_time",
         "release_time",
+        "request_id",
+        "attempts",
+        "fence",
+        "orphan_time",
+        "abort_time",
     )
 
     def __init__(
         self, client: int, key: str, shard: int, site: int, hold: float,
-        submit_time: float,
+        submit_time: float, request_id: int = 0,
     ) -> None:
         self.client = client
         self.key = key
@@ -76,11 +104,39 @@ class LockRequest:
         self.submit_time = submit_time
         self.grant_time: Optional[float] = None
         self.release_time: Optional[float] = None
+        #: Idempotent re-submission token (unique per acquire, stable
+        #: across retries).
+        self.request_id = request_id
+        #: Failover re-submissions so far.
+        self.attempts = 0
+        #: Fencing epoch stamped at grant (see KeyConformanceChecker).
+        self.fence = 0
+        #: Set when the granting front end crashed before release.
+        self.orphan_time: Optional[float] = None
+        #: Set when the service gave up retrying (deadline/attempts).
+        self.abort_time: Optional[float] = None
 
     @property
     def complete(self) -> bool:
         """True once the lock was granted and released."""
         return self.release_time is not None
+
+    @property
+    def granted(self) -> bool:
+        return self.grant_time is not None
+
+    @property
+    def orphaned(self) -> bool:
+        return self.orphan_time is not None
+
+    @property
+    def aborted(self) -> bool:
+        return self.abort_time is not None
+
+    @property
+    def finished(self) -> bool:
+        """True once the request reached any terminal state."""
+        return self.complete or self.orphaned or self.aborted
 
     @property
     def wait_time(self) -> float:
@@ -95,11 +151,29 @@ class LockRequest:
         )
 
 
+class _KeyGroup:
+    """Same-key slice of one batch: head is granted, tail serializes.
+
+    ``fence`` is the per-key fencing epoch captured when the group was
+    formed under the live authorization; every grant from this group
+    carries it, which is what lets the conformance checker refuse grants
+    issued from pre-crash state after the key's lease was revoked.
+    """
+
+    __slots__ = ("key", "fence", "requests")
+
+    def __init__(self, key: str, fence: int) -> None:
+        self.key = key
+        self.fence = fence
+        self.requests: List[LockRequest] = []
+
+
 class _FrontEndState(enum.Enum):
     IDLE = "idle"          # not holding, nothing requested
     WAITING = "waiting"    # mutex request in flight
     HOLDING = "holding"    # in the shard CS, serving a batch
     LEASING = "leasing"    # in the shard CS, queue empty, lease ticking
+    CRASHED = "crashed"    # hosted site down; service rerouted the work
 
 
 class ShardFrontEnd:
@@ -115,7 +189,8 @@ class ShardFrontEnd:
         "lease_window",
         "queue",
         "state",
-        "_outstanding",
+        "_groups",
+        "_timers",
         "_lease_timer",
     )
 
@@ -137,13 +212,20 @@ class ShardFrontEnd:
         self.queue: Deque[LockRequest] = deque()
         self.state = _FrontEndState.IDLE
         #: Key groups of the in-flight batch that still hold their lock.
-        self._outstanding = 0
-        self._lease_timer = None
+        self._groups: Dict[str, _KeyGroup] = {}
+        #: Pending hold-expiry timers by key (cancelled on crash).
+        self._timers: Dict[str, "TimerHandle"] = {}
+        self._lease_timer: Optional["TimerHandle"] = None
 
     # -- intake ---------------------------------------------------------------
 
     def enqueue(self, request: LockRequest) -> None:
         """Accept one routed acquire; drives the mutex as needed."""
+        if self.state is _FrontEndState.CRASHED:
+            raise ProtocolError(
+                f"shard {self.shard} site {self.site_id} received an "
+                "acquire while crashed; the router must pick live sites"
+            )
         self.queue.append(request)
         if self.state is _FrontEndState.IDLE:
             self.state = _FrontEndState.WAITING
@@ -172,6 +254,43 @@ class ShardFrontEnd:
         self.state = _FrontEndState.HOLDING
         self._serve_batch()
 
+    # -- crash lifecycle ---------------------------------------------------------
+
+    def on_site_crashed(self) -> Tuple[List[LockRequest], List[LockRequest]]:
+        """Tear down after the hosted site crashed.
+
+        Cancels every pending hold and lease timer (they are raw
+        simulator events and would otherwise fire against the dead
+        site), empties the queue and batch state, and returns
+        ``(stranded, orphaned)``: acquires that never got their grant
+        (for the service to fail over) and granted-but-unreleased holds
+        (for the service to fence off).
+        """
+        if self._lease_timer is not None:
+            self._lease_timer.cancel()
+            self._lease_timer = None
+        for timer in self._timers.values():
+            timer.cancel()
+        self._timers.clear()
+        stranded: List[LockRequest] = []
+        orphaned: List[LockRequest] = []
+        for group in self._groups.values():
+            rows = group.requests
+            if rows and rows[0].granted and not rows[0].complete:
+                orphaned.append(rows[0])
+                stranded.extend(rows[1:])
+            else:
+                stranded.extend(rows)
+        self._groups.clear()
+        stranded.extend(self.queue)
+        self.queue.clear()
+        self.state = _FrontEndState.CRASHED
+        return stranded, orphaned
+
+    def on_site_recovered(self) -> None:
+        """The hosted site is back (clean, rejoining); accept work again."""
+        self.state = _FrontEndState.IDLE
+
     # -- batch machinery --------------------------------------------------------
 
     def _serve_batch(self) -> None:
@@ -185,33 +304,39 @@ class ShardFrontEnd:
             raise ProtocolError(
                 f"shard {self.shard} site {self.site_id} began an empty batch"
             )
-        groups: dict = {}
+        checker = self.service.checker
         for _ in range(min(self.batch_max, len(queue))):
             request = queue.popleft()
-            groups.setdefault(request.key, []).append(request)
+            group = self._groups.get(request.key)
+            if group is None:
+                group = _KeyGroup(request.key, checker.fence_of(request.key))
+                self._groups[request.key] = group
+            group.requests.append(request)
         stats = self.service.stats
         stats.batches += 1
-        self._outstanding = len(groups)
-        for group in groups.values():
-            self._grant_head(group)
+        for group in list(self._groups.values()):
+            if not group.requests[0].granted:
+                self._grant_head(group)
 
-    def _grant_head(self, group: List[LockRequest]) -> None:
-        request = group[0]
+    def _grant_head(self, group: _KeyGroup) -> None:
+        request = group.requests[0]
         request.grant_time = self.view.now
+        request.fence = group.fence
         self.service.on_grant(request)
-        self.view.schedule_call(
+        self._timers[request.key] = self.view.schedule_call(
             request.hold, self._release_one, (group,), "lock-hold"
         )
 
-    def _release_one(self, group: List[LockRequest]) -> None:
-        request = group.pop(0)
+    def _release_one(self, group: _KeyGroup) -> None:
+        self._timers.pop(group.key, None)
+        request = group.requests.pop(0)
         request.release_time = self.view.now
         self.service.on_release(request)
-        if group:
+        if group.requests:
             self._grant_head(group)
             return
-        self._outstanding -= 1
-        if self._outstanding == 0:
+        del self._groups[group.key]
+        if not self._groups:
             self._batch_done()
 
     def _batch_done(self) -> None:

@@ -1,10 +1,11 @@
 """Configured lock-service runs: build, drive, verify, summarize.
 
 Mirrors :mod:`repro.experiments.runner` for the multi-resource layer.
-:class:`LockRunConfig` is deliberately scalar-only (strings, ints,
-floats, bools): it pickles across worker processes unchanged, and two
-equal configs are guaranteed to describe byte-identical runs — the
-sampler, arrival process, and delay model are constructed *inside*
+:class:`LockRunConfig` is deliberately value-only (scalars plus the
+picklable fault/chaos dataclasses the experiments runner also carries):
+it pickles across worker processes unchanged, and two equal configs are
+guaranteed to describe byte-identical runs — the sampler, arrival
+process, and delay model are constructed *inside*
 :func:`run_lock_service` from named RNG streams, never passed in as
 live objects.
 
@@ -13,21 +14,41 @@ whole client population is materialized up front from two dedicated
 streams — ``locks/arrivals`` for the submission times, then
 ``locks/population`` for the (client, key) draws — so the schedule is a
 pure function of the config and never interleaves with protocol RNG
-usage during the run. Same config + seed ⇒ byte-identical summary
-dict, whether the trial runs inline, in a worker process, or through
-:class:`repro.parallel.TrialPool` at any worker count.
+usage during the run. Crash schedules draw from shard-qualified streams
+(``lockshard{i}/crashes``) and retry backoff from ``locks/retry``, so
+fault-injected runs stay byte-deterministic too. Same config + seed ⇒
+byte-identical summary dict, whether the trial runs inline, in a worker
+process, or through :class:`repro.parallel.TrialPool` at any worker
+count.
+
+Failure semantics (DESIGN.md §10): with ``crashes > 0`` the shard
+arbiters are :class:`~repro.core.faults.FaultTolerantSite` instances and
+each shard suffers that many seeded crash/rejoin cycles. The drain
+invariant relaxes from "every acquire completed" to "every acquire
+reached a terminal state": ``completed + orphaned + aborted ==
+n_requests``, where orphaned holds were granted but fenced off when
+their front end crashed and aborted acquires exhausted the retry
+budget without ever being granted. Every non-aborted acquire was
+granted.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Dict, List, Optional
 
 from repro.errors import ConfigurationError
+from repro.ft.chaos import ChaosSchedule
+from repro.locks.faults import (
+    RetryPolicy,
+    derive_shard_crashes,
+    install_shard_churn,
+)
 from repro.locks.service import LockService
-from repro.sim.network import ConstantDelay
+from repro.sim.network import ConstantDelay, FaultModel
 from repro.sim.simulator import Simulator
 from repro.workload.arrivals import PoissonArrivals, UniformKeys, ZipfKeys
 
@@ -42,7 +63,7 @@ __all__ = [
 
 @dataclass
 class LockRunConfig:
-    """Declarative description of one lock-service run (scalars only)."""
+    """Declarative description of one lock-service run (values only)."""
 
     algorithm: str = "cao-singhal"
     n_sites: int = 9
@@ -69,9 +90,46 @@ class LockRunConfig:
     max_time: float = 1_000_000.0
     max_events: int = 20_000_000
     verify: bool = True
+    #: Message-level fault injection on the shared network
+    #: (loss/duplication/reorder), as in the single-resource runner.
+    fault_model: Optional[FaultModel] = None
+    #: Reliable-channel layer; ``None`` = auto (on iff faults present).
+    reliable: Optional[bool] = None
+    #: Seeded chaos overlay (loss bursts / delay spikes / link cuts over
+    #: the whole node space). Its ``crashes`` knob, if set, supplies the
+    #: per-shard crash count when ``crashes`` below is 0.
+    chaos: Optional[ChaosSchedule] = None
+    #: Seeded crash/rejoin cycles *per shard* (distinct sites each).
+    crashes: int = 0
+    #: Time until a crashed site recovers; ``0`` = permanent fail-stop.
+    crash_downtime: float = 30.0
+    #: Oracle failure-detection latency for crash cycles.
+    detection_delay: float = 2.0
+    #: Client-side retry/backoff policy (see RetryPolicy).
+    retry_base: float = 0.5
+    retry_cap: float = 8.0
+    retry_jitter: float = 0.25
+    max_attempts: int = 8
+    #: Per-acquire deadline relative to submit; ``0`` disables.
+    acquire_deadline: float = 0.0
 
     def effective_lease_window(self) -> float:
         return self.lease_window if self.lease else 0.0
+
+    def effective_crashes(self) -> int:
+        """Per-shard crash cycles: explicit knob, else the chaos one."""
+        if self.crashes:
+            return self.crashes
+        return self.chaos.crashes if self.chaos is not None else 0
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            base=self.retry_base,
+            cap=self.retry_cap,
+            jitter=self.retry_jitter,
+            max_attempts=self.max_attempts,
+            deadline=self.acquire_deadline,
+        )
 
     def make_sampler(self):
         """Key-popularity sampler implied by ``key_skew``."""
@@ -112,9 +170,17 @@ class LockServiceSummary:
     coalesced_batches: int
     mean_wait: float
     p95_wait: float
+    p99_wait: float
     peak_concurrent_keys: int
     distinct_key_overlaps: int
     hotspot_factor: float
+    crashes: int
+    failovers: int
+    retries: int
+    aborted: int
+    orphaned: int
+    duplicate_drops: int
+    availability: float
     shard_loads: List[int] = field(default_factory=list)
 
     def to_dict(self) -> Dict[str, object]:
@@ -127,7 +193,7 @@ class LockServiceSummary:
 
     def describe(self) -> str:
         """One-paragraph human summary for the CLI."""
-        return (
+        text = (
             f"{self.algorithm}: {self.completed}/{self.submitted} acquires "
             f"over {self.shards} shards x {self.n_sites} sites "
             f"({self.n_keys} keys, skew={self.key_skew:g}, "
@@ -136,11 +202,20 @@ class LockServiceSummary:
             f"({self.messages_sent} total, {self.quorum_rounds} quorum "
             f"rounds, {self.lease_hits} lease hits = "
             f"{100 * self.lease_hit_rate:.1f}%)\n"
-            f"  wait: mean {self.mean_wait:.3f} / p95 {self.p95_wait:.3f}; "
+            f"  wait: mean {self.mean_wait:.3f} / p95 {self.p95_wait:.3f} "
+            f"/ p99 {self.p99_wait:.3f}; "
             f"peak concurrent keys {self.peak_concurrent_keys}; "
             f"shard hotspot {self.hotspot_factor:.2f}; "
             f"violations {self.violations}"
         )
+        if self.crashes:
+            text += (
+                f"\n  faults: {self.crashes} crashes, {self.failovers} "
+                f"failovers ({self.retries} retries), {self.orphaned} "
+                f"orphaned holds, {self.aborted} aborted; "
+                f"availability {100 * self.availability:.2f}%"
+            )
+        return text
 
 
 @dataclass
@@ -171,8 +246,12 @@ def _validate(config: LockRunConfig) -> None:
         raise ConfigurationError(
             f"key_skew must be >= 0, got {config.key_skew}"
         )
-    # arrival_rate / routing / batch_max / lease_window are validated by
-    # PoissonArrivals and LockService respectively.
+    if config.arrival_rate <= 0:
+        raise ConfigurationError(
+            f"arrival_rate must be positive, got {config.arrival_rate}"
+        )
+    # routing / batch_max / lease_window are validated by LockService;
+    # crash/retry knobs by RetryPolicy and derive_shard_crashes.
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:
@@ -182,15 +261,49 @@ def _percentile(sorted_values: List[float], q: float) -> float:
     return sorted_values[max(0, index)]
 
 
+def _give_up_hook(service: LockService):
+    """Channel give-ups → shard-local failure notices.
+
+    When the reliable layer exhausts retries from global node ``src``
+    toward ``dst``, the sending shard site has channel-level evidence
+    its peer is gone; feed it to the Section 6 cleanup when the arbiter
+    understands failures (FaultTolerantSite), else ignore it.
+    """
+    from repro.core.faults import FaultTolerantSite
+
+    n = service.router.n_sites
+
+    def give_up(src: int, dst: int) -> None:
+        shard, local_src = divmod(src, n)
+        if shard != dst // n:
+            return  # cross-shard traffic does not exist; be safe anyway
+        site = service.views[shard].nodes.get(local_src)
+        if isinstance(site, FaultTolerantSite) and not site.crashed:
+            site.notify_failure(dst - shard * n)
+
+    return give_up
+
+
 def run_lock_service(config: LockRunConfig) -> LockRunResult:
     """Run one configured lock-service simulation to completion.
 
-    Builds the service, installs the open-loop client population,
-    drains the simulator, verifies per-shard and per-key mutual
-    exclusion (when ``config.verify``), and digests the run.
+    Builds the service, installs the open-loop client population (plus
+    any configured fault injection and per-shard crash cycles), drains
+    the simulator, verifies per-shard and per-key mutual exclusion
+    (when ``config.verify``), and digests the run.
     """
     _validate(config)
-    sim = Simulator(seed=config.seed, delay_model=ConstantDelay(config.delay))
+    fault_model = config.fault_model
+    if fault_model is None and config.chaos is not None:
+        # A chaos schedule needs the network's fault layer switched on
+        # even when the base model injects nothing itself.
+        fault_model = FaultModel()
+    sim = Simulator(
+        seed=config.seed,
+        delay_model=ConstantDelay(config.delay),
+        fault_model=fault_model,
+    )
+    crashes = config.effective_crashes()
     service = LockService(
         sim,
         algorithm=config.algorithm,
@@ -200,7 +313,40 @@ def run_lock_service(config: LockRunConfig) -> LockRunResult:
         batch_max=config.batch_max,
         lease_window=config.effective_lease_window(),
         routing=config.routing,
+        fault_tolerant=crashes > 0,
+        retry=config.retry_policy(),
     )
+
+    reliable = config.reliable
+    if reliable is None:
+        reliable = fault_model is not None
+    if reliable:
+        sim.install_transport()
+        sim.transport.on_give_up = _give_up_hook(service)
+
+    if config.chaos is not None:
+        # Network-level chaos (bursts/spikes/cuts) applies to the whole
+        # global node space; crashes are handled per shard below.
+        schedule = dataclasses.replace(config.chaos, crashes=0)
+        plan = schedule.materialize(config.shards * config.n_sites)
+        plan.install(sim, [])
+
+    horizon = config.n_requests / config.arrival_rate
+    if crashes:
+        downtime = config.crash_downtime
+        if config.crashes == 0 and config.chaos is not None:
+            downtime = config.chaos.crash_downtime
+        for view in service.views:
+            cycles = derive_shard_crashes(
+                view.rng("crashes"),
+                config.n_sites,
+                crashes,
+                horizon,
+                downtime,
+                config.detection_delay,
+            )
+            sites = [view.nodes[s] for s in range(config.n_sites)]
+            install_shard_churn(view, sites, cycles)
 
     # The population is materialized up front from dedicated streams —
     # see the module docstring's determinism contract.
@@ -222,6 +368,7 @@ def run_lock_service(config: LockRunConfig) -> LockRunResult:
 
     sim.start()
     sim.run(until=config.max_time, max_events=config.max_events)
+    service.finalize_degraded()
 
     overlaps = 0
     if config.verify:
@@ -232,7 +379,17 @@ def run_lock_service(config: LockRunConfig) -> LockRunResult:
                 "or shrink the workload"
             )
         overlaps = service.verify()
-        if len(service.completed) != config.n_requests:
+        resolved = (
+            len(service.completed)
+            + len(service.orphaned)
+            + len(service.aborted)
+        )
+        if resolved != config.n_requests:
+            raise ConfigurationError(
+                f"run drained with {resolved} of {config.n_requests} "
+                "acquires resolved (completed + orphaned + aborted)"
+            )
+        if crashes == 0 and len(service.completed) != config.n_requests:
             raise ConfigurationError(
                 f"run drained with {len(service.completed)} of "
                 f"{config.n_requests} acquires served"
@@ -241,6 +398,7 @@ def run_lock_service(config: LockRunConfig) -> LockRunResult:
     stats = service.stats
     waits = sorted(r.wait_time for r in service.completed)
     completed = len(waits)
+    duration = sim.last_event_time
     summary = LockServiceSummary(
         algorithm=config.algorithm,
         shards=config.shards,
@@ -255,7 +413,7 @@ def run_lock_service(config: LockRunConfig) -> LockRunResult:
         submitted=stats.acquires,
         completed=completed,
         violations=0,  # verify() raises on any; a summary implies zero
-        duration=sim.last_event_time,
+        duration=duration,
         messages_sent=sim.network.stats.messages_sent,
         messages_per_acquire=(
             sim.network.stats.messages_sent / completed if completed else 0.0
@@ -268,9 +426,17 @@ def run_lock_service(config: LockRunConfig) -> LockRunResult:
         coalesced_batches=stats.coalesced_batches,
         mean_wait=(sum(waits) / completed if completed else 0.0),
         p95_wait=_percentile(waits, 0.95),
+        p99_wait=_percentile(waits, 0.99),
         peak_concurrent_keys=service.checker.peak_concurrent_keys,
         distinct_key_overlaps=overlaps,
         hotspot_factor=service.hotspot_factor(),
+        crashes=stats.crashes,
+        failovers=stats.failovers,
+        retries=stats.retries,
+        aborted=stats.aborted,
+        orphaned=stats.orphaned,
+        duplicate_drops=stats.duplicate_drops,
+        availability=service.availability(duration),
         shard_loads=list(service.shard_loads),
     )
     return LockRunResult(summary=summary, sim=sim, service=service)

@@ -19,10 +19,30 @@ Routing policies for picking the front-end site:
   client talks to one site regardless of key. Spreads load evenly but
   makes hot keys ping-pong the shard CS between sites.
 
-Layering: the service owns routing, per-key accounting, and online
-conformance (:class:`~repro.locks.conformance.KeyConformanceChecker`);
-the front ends own the CS-hold discipline; the mutex sites stay exactly
-the paper's protocols.
+Either way a crashed site is skipped: routing deterministically probes
+the next live site of the shard, so new acquires never land on a dead
+front end.
+
+Failure handling (DESIGN.md §10). The service registers crash/recover
+hooks on every shard view. When a site crashes, its front end hands
+back the work split two ways: *orphaned* holds (granted, unreleased)
+are fenced off — ``orphan_time`` stamps the request, and the online
+checker bumps the key's fencing epoch so stale pre-crash grants are
+refused — while *stranded* acquires (queued, never granted) fail over:
+after a seeded exponential backoff (:class:`~repro.locks.faults.
+RetryPolicy`), each is re-submitted to a surviving site of the same
+shard under its original idempotent ``request_id``, so a duplicated
+submission can never double-grant. Retries stop at ``max_attempts`` or
+the per-request deadline, aborting the acquire. Per-shard degraded
+windows (any site down) accumulate into the availability number the
+summary reports.
+
+Layering: the service owns routing, retry/failover, per-key accounting,
+and online conformance (:class:`~repro.locks.conformance.
+KeyConformanceChecker`); the front ends own the CS-hold discipline; the
+mutex sites stay exactly the paper's protocols — with
+:class:`~repro.core.faults.FaultTolerantSite` (the paper's Section 6
+recovery) as the shard arbiter when crash faults are enabled.
 """
 
 from __future__ import annotations
@@ -34,6 +54,7 @@ from repro.locks.conformance import (
     KeyConformanceChecker,
     check_key_mutual_exclusion,
 )
+from repro.locks.faults import RetryPolicy
 from repro.locks.frontend import LockRequest, ShardFrontEnd
 from repro.locks.router import ShardRouter
 from repro.locks.substrate import ShardView
@@ -50,7 +71,8 @@ ROUTING_POLICIES = ("affinity", "client")
 
 
 class LockStats:
-    """Service-level counters (protocol work vs. lease/batch savings)."""
+    """Service-level counters (protocol work vs. lease/batch savings,
+    plus the degraded-mode ledger under crash faults)."""
 
     __slots__ = (
         "acquires",
@@ -61,6 +83,12 @@ class LockStats:
         "lease_expiries",
         "batches",
         "coalesced_batches",
+        "crashes",
+        "failovers",
+        "retries",
+        "aborted",
+        "orphaned",
+        "duplicate_drops",
     )
 
     def __init__(self) -> None:
@@ -76,6 +104,18 @@ class LockStats:
         self.batches = 0
         #: Follow-on batches served under one grant (no extra protocol).
         self.coalesced_batches = 0
+        #: Site crashes observed through the shard views.
+        self.crashes = 0
+        #: Stranded acquires successfully re-homed to a surviving site.
+        self.failovers = 0
+        #: Retry submissions scheduled (with backoff) after a crash.
+        self.retries = 0
+        #: Acquires abandoned at max_attempts / deadline, never granted.
+        self.aborted = 0
+        #: Granted holds cut short by their front end's crash (fenced).
+        self.orphaned = 0
+        #: Duplicate submissions dropped by request-id idempotence.
+        self.duplicate_drops = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {name: getattr(self, name) for name in self.__slots__}
@@ -122,6 +162,8 @@ class LockService:
         batch_max: int = 8,
         lease_window: float = 0.0,
         routing: str = "affinity",
+        fault_tolerant: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         if batch_max < 1:
             raise ConfigurationError(f"batch_max must be >= 1, got {batch_max}")
@@ -133,6 +175,12 @@ class LockService:
             raise ConfigurationError(
                 f"unknown routing policy {routing!r}; "
                 f"known: {', '.join(ROUTING_POLICIES)}"
+            )
+        if fault_tolerant and algorithm != "cao-singhal":
+            raise ConfigurationError(
+                "crash-fault tolerance uses the paper's Section 6 recovery "
+                "protocol, which extends cao-singhal; got "
+                f"algorithm={algorithm!r}"
             )
         spec = get_algorithm_spec(algorithm)
         if spec.needs_quorum:
@@ -154,6 +202,8 @@ class LockService:
         self.sim = sim
         self.algorithm = algorithm
         self.routing = routing
+        self.fault_tolerant = fault_tolerant
+        self.retry = retry or RetryPolicy()
         self.router = ShardRouter(shards, n_sites)
         self.stats = LockStats()
         self.checker = KeyConformanceChecker()
@@ -161,6 +211,16 @@ class LockService:
         self.requests: List[LockRequest] = []
         #: Per-shard completed-acquire counts (load-balance signal).
         self.shard_loads: List[int] = [0] * shards
+        #: request_ids currently enqueued at some front end — the
+        #: idempotence filter duplicated submissions bounce off.
+        self._pending: set = set()
+        self._next_request_id = 0
+        self._retry_rng = sim.rng("locks/retry")
+        #: Per-shard degraded-mode ledger: which sites are down, when the
+        #: current degraded window opened, and the accumulated total.
+        self._down: List[set] = [set() for _ in range(shards)]
+        self._degraded_since: List[Optional[float]] = [None] * shards
+        self.degraded_time: List[float] = [0.0] * shards
         self.views: List[ShardView] = []
         self.collectors: List[MetricsCollector] = []
         self.front_ends: List[List[ShardFrontEnd]] = []
@@ -170,13 +230,27 @@ class LockService:
             listener = _ShardListener(collector)
             fronts: List[ShardFrontEnd] = []
             for site_id in range(n_sites):
-                site = spec.factory(
-                    site_id, n_sites, quorum_system, None, listener
-                )
+                if fault_tolerant:
+                    from repro.core.faults import FaultTolerantSite
+
+                    assert quorum_system is not None
+                    site = FaultTolerantSite(
+                        site_id, quorum_system, None, listener
+                    )
+                else:
+                    site = spec.factory(
+                        site_id, n_sites, quorum_system, None, listener
+                    )
                 view.add_node(site)
                 front = ShardFrontEnd(self, view, site, batch_max, lease_window)
                 fronts.append(front)
                 listener.front_ends[site_id] = front
+            view.crash_hooks.append(
+                lambda site, shard=index: self._on_site_crash(shard, site)
+            )
+            view.recover_hooks.append(
+                lambda site, shard=index: self._on_site_recover(shard, site)
+            )
             self.views.append(view)
             self.collectors.append(collector)
             self.front_ends.append(fronts)
@@ -191,19 +265,140 @@ class LockService:
         """
         shard = self.router.shard_of(key)
         if self.routing == "affinity":
-            site = self.router.home_site(key)
+            preferred = self.router.home_site(key)
         else:
-            site = client % self.router.n_sites
-        request = LockRequest(client, key, shard, site, hold, self.sim.now)
+            preferred = client % self.router.n_sites
+        request = LockRequest(
+            client, key, shard, preferred, hold, self.sim.now,
+            request_id=self._next_request_id,
+        )
+        self._next_request_id += 1
         self.stats.acquires += 1
         self.requests.append(request)
-        self.front_ends[shard][site].enqueue(request)
+        site = self._pick_live_site(shard, preferred)
+        if site is None:
+            # Whole shard down at submit time: enter the retry path.
+            self._schedule_retry(request)
+            return request
+        request.site = site
+        self.submit(request)
         return request
+
+    def submit(self, request: LockRequest) -> bool:
+        """Idempotent submission: enqueue unless already live or done.
+
+        The request id is the dedup token — a duplicated or retried
+        submission of an acquire that is already enqueued, granted, or
+        finished is dropped (counted in ``duplicate_drops``), which is
+        what makes failover retries safe against double grants.
+        """
+        if (
+            request.request_id in self._pending
+            or request.granted
+            or request.finished
+        ):
+            self.stats.duplicate_drops += 1
+            return False
+        self._pending.add(request.request_id)
+        self.front_ends[request.shard][request.site].enqueue(request)
+        return True
+
+    # -- failover machinery -------------------------------------------------------
+
+    def _pick_live_site(self, shard: int, preferred: int) -> Optional[int]:
+        """``preferred`` if alive, else the next live site round-robin."""
+        nodes = self.views[shard].nodes
+        n = self.router.n_sites
+        for step in range(n):
+            site = (preferred + step) % n
+            if not nodes[site].crashed:
+                return site
+        return None
+
+    def _on_site_crash(self, shard: int, site: int) -> None:
+        """A shard arbiter died: fence its holds, fail over its queue."""
+        now = self.sim.now
+        self.stats.crashes += 1
+        down = self._down[shard]
+        if not down:
+            self._degraded_since[shard] = now
+        down.add(site)
+        stranded, orphaned = self.front_ends[shard][site].on_site_crashed()
+        for request in orphaned:
+            request.orphan_time = now
+            self._pending.discard(request.request_id)
+            self.checker.on_holder_crashed(request)
+            self.stats.orphaned += 1
+        for request in stranded:
+            self._pending.discard(request.request_id)
+            self._schedule_retry(request)
+
+    def _on_site_recover(self, shard: int, site: int) -> None:
+        now = self.sim.now
+        self.front_ends[shard][site].on_site_recovered()
+        down = self._down[shard]
+        down.discard(site)
+        since = self._degraded_since[shard]
+        if not down and since is not None:
+            self.degraded_time[shard] += now - since
+            self._degraded_since[shard] = None
+
+    def _schedule_retry(self, request: LockRequest) -> None:
+        """Queue one backoff-delayed re-submission, or abort the acquire."""
+        policy = self.retry
+        now = self.sim.now
+        if request.attempts >= policy.max_attempts:
+            self._abort(request)
+            return
+        delay = policy.backoff(request.attempts, self._retry_rng)
+        if policy.deadline > 0 and (
+            now + delay > request.submit_time + policy.deadline
+        ):
+            self._abort(request)
+            return
+        request.attempts += 1
+        self.stats.retries += 1
+        self.sim.schedule_call(delay, self._resubmit, (request,), "lock-retry")
+
+    def _abort(self, request: LockRequest) -> None:
+        request.abort_time = self.sim.now
+        self.stats.aborted += 1
+
+    def _resubmit(self, request: LockRequest) -> None:
+        """Backoff expired: re-home the acquire on a live site."""
+        if request.finished or request.granted:
+            return  # resolved while the retry was in flight
+        site = self._pick_live_site(request.shard, request.site)
+        if site is None:
+            self._schedule_retry(request)
+            return
+        request.site = site
+        if self.submit(request):
+            self.stats.failovers += 1
+
+    def finalize_degraded(self) -> None:
+        """Close any still-open degraded windows at the current time."""
+        now = self.sim.now
+        for shard, since in enumerate(self._degraded_since):
+            if since is not None:
+                self.degraded_time[shard] += now - since
+                self._degraded_since[shard] = now
+
+    def availability(self, duration: float) -> float:
+        """Mean fraction of the run each shard had all sites up."""
+        if duration <= 0:
+            return 1.0
+        shards = len(self.degraded_time)
+        degraded = sum(
+            min(d, duration) / duration for d in self.degraded_time
+        )
+        return 1.0 - degraded / shards
 
     # -- front-end callbacks -----------------------------------------------------
 
     def on_grant(self, request: LockRequest) -> None:
         self.checker.on_grant(request)
+        self._pending.discard(request.request_id)
         self.stats.grants += 1
 
     def on_release(self, request: LockRequest) -> None:
@@ -217,6 +412,16 @@ class LockService:
     def completed(self) -> List[LockRequest]:
         """Acquires that were granted and released, in submission order."""
         return [r for r in self.requests if r.complete]
+
+    @property
+    def orphaned(self) -> List[LockRequest]:
+        """Acquires granted but cut short by a front-end crash."""
+        return [r for r in self.requests if r.orphaned]
+
+    @property
+    def aborted(self) -> List[LockRequest]:
+        """Acquires abandoned by the retry layer, never granted."""
+        return [r for r in self.requests if r.aborted]
 
     def messages_sent(self) -> int:
         """Protocol messages the shards put on the shared network."""
@@ -235,8 +440,10 @@ class LockService:
 
         Three independent layers: the per-shard CS intervals through the
         standard single-resource checker, the per-key intervals through
-        the post-hoc key checker, and the online checker's holding set
-        (must be empty once the run drains).
+        the post-hoc key checker (which excuses crash-orphaned holds at
+        their orphan instant), and the online checker's holding set
+        (must be empty once the run drains — orphaned holds were already
+        evicted when their site crashed).
         """
         from repro.verify.invariants import check_mutual_exclusion
 

@@ -24,7 +24,7 @@ into its own ``N``-slot window.
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.node import Node
@@ -39,29 +39,35 @@ class _ShardPort(Node):
 
     Lives in the simulator's node table under the *global* id; forwards
     deliveries and lifecycle hooks to the wrapped site with the source
-    id translated back into the shard's local space.
+    id translated back into the shard's local space. Crash/recover
+    additionally fan out to the view's registered hooks, which is how
+    the lock service learns that one of its shard arbiters died.
     """
 
-    __slots__ = ("_base", "_inner")
+    __slots__ = ("_view", "_inner")
 
-    def __init__(self, base: SiteId, inner: Node) -> None:
-        super().__init__(base + inner.site_id)
-        self._base = base
+    def __init__(self, view: "ShardView", inner: Node) -> None:
+        super().__init__(view.base + inner.site_id)
+        self._view = view
         self._inner = inner
 
     def on_start(self) -> None:
         self._inner.on_start()
 
     def on_message(self, src: SiteId, message: Any) -> None:
-        self._inner.on_message(src - self._base, message)
+        self._inner.on_message(src - self._view.base, message)
 
     def on_crash(self) -> None:
         self._inner.crashed = True
         self._inner.on_crash()
+        for hook in self._view.crash_hooks:
+            hook(self._inner.site_id)
 
     def on_recover(self) -> None:
         self._inner.crashed = False
         self._inner.on_recover()
+        for hook in self._view.recover_hooks:
+            hook(self._inner.site_id)
 
 
 class ShardView:
@@ -78,7 +84,10 @@ class ShardView:
     its own per-key records instead and leaves the kernel trace off.
     """
 
-    __slots__ = ("sim", "index", "base", "n", "nodes", "trace")
+    __slots__ = (
+        "sim", "index", "base", "n", "nodes", "trace",
+        "crash_hooks", "recover_hooks",
+    )
 
     def __init__(self, sim: Simulator, index: int, n: int) -> None:
         self.sim = sim
@@ -88,6 +97,10 @@ class ShardView:
         #: Shard-local nodes by local site id (substrate interface).
         self.nodes: Dict[SiteId, Node] = {}
         self.trace = sim.trace
+        #: Observers called with the *local* site id when a hosted site
+        #: crashes / recovers (the service layer's failover trigger).
+        self.crash_hooks: List[Callable[[SiteId], None]] = []
+        self.recover_hooks: List[Callable[[SiteId], None]] = []
 
     # -- construction --------------------------------------------------------
 
@@ -102,10 +115,24 @@ class ShardView:
             raise SimulationError(
                 f"duplicate local site id {node.site_id} in shard {self.index}"
             )
-        self.sim.add_node(_ShardPort(self.base, node))
+        self.sim.add_node(_ShardPort(self, node))
         node.bind(self)
         self.nodes[node.site_id] = node
         return node
+
+    # -- fault injection -------------------------------------------------------
+
+    def crash(self, site: SiteId) -> None:
+        """Crash the hosted ``site`` (local id) in the shared simulator."""
+        self.sim.crash(self.base + site)
+
+    def recover(self, site: SiteId) -> None:
+        """Recover the hosted ``site`` (local id)."""
+        self.sim.recover(self.base + site)
+
+    def live_sites(self) -> List[SiteId]:
+        """Local ids of the currently non-crashed hosted sites."""
+        return [s for s in sorted(self.nodes) if not self.nodes[s].crashed]
 
     # -- substrate interface ---------------------------------------------------
 

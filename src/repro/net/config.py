@@ -165,6 +165,12 @@ def done_path(run_dir, site: int) -> Path:
     return Path(run_dir) / f"done-{site}.json"
 
 
+def pid_path(run_dir, site: int) -> Path:
+    """Written by the launcher after spawning site ``site`` (process
+    mode), so fault-injection harnesses can target a specific child."""
+    return Path(run_dir) / f"pid-{site}"
+
+
 def merged_path(run_dir) -> Path:
     """The merged, monitor-replayable trace the launcher produces."""
     return Path(run_dir) / "merged.jsonl"

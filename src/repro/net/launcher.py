@@ -114,28 +114,52 @@ def _wait_for_files(
     run_dir: Path,
     deadline_wall: float,
     what: str,
-) -> None:
+    tolerate: bool = False,
+) -> "set[int]":
+    """Wait for one file per site; returns the sites that never produced one.
+
+    Strict mode (the default) aborts the whole run the moment a site dies
+    or the deadline passes — the answer would not be trustworthy. Tolerant
+    mode is the crash-harvest path: a dead site merely stops being waited
+    on, a deadline stops the wait for whoever is left (survivors stuck
+    retrying toward a dead quorum member), and the caller salvages what
+    the remaining sites produced.
+    """
+    expected = {i: path for i, path in enumerate(paths)}
+    lost: "set[int]" = set()
     while True:
-        missing = [p for p in paths if not p.exists()]
-        if not missing:
-            return
+        for i in [i for i, path in expected.items() if path.exists()]:
+            del expected[i]
+        if not expected:
+            return lost
         for i, proc in enumerate(procs):
             code = proc.poll()
             if code not in (None, 0):
-                raise _abort(
-                    procs, run_dir, f"site {i} exited {code} before {what}"
-                )
+                if not tolerate:
+                    raise _abort(
+                        procs, run_dir, f"site {i} exited {code} before {what}"
+                    )
+                if i in expected:
+                    lost.add(i)
+                    del expected[i]
+        if not expected:
+            return lost
         if time.time() > deadline_wall:
+            if tolerate:
+                lost.update(expected)
+                return lost
             raise _abort(
                 procs,
                 run_dir,
                 f"timed out waiting for {what} "
-                f"({len(missing)}/{len(paths)} missing)",
+                f"({len(expected)}/{len(paths)} missing)",
             )
         time.sleep(POLL)
 
 
-def _run_process_mode(config: NetRunConfig, run_dir: Path) -> List[Dict[str, Any]]:
+def _run_process_mode(
+    config: NetRunConfig, run_dir: Path, tolerate_crashes: bool = False
+) -> List[Dict[str, Any]]:
     layout.config_path(run_dir).write_text(config.to_json(), encoding="utf-8")
     env = os.environ.copy()
     # The children must import repro from the same tree as this process.
@@ -167,7 +191,12 @@ def _run_process_mode(config: NetRunConfig, run_dir: Path) -> List[Dict[str, Any
                         env=env,
                     )
                 )
+            layout.pid_path(run_dir, i).write_text(
+                str(procs[-1].pid), encoding="utf-8"
+            )
         sites = range(config.n_sites)
+        # The rendezvous phase is always strict: a site lost before the
+        # address book exists is a setup failure, not a mid-run crash.
         _wait_for_files(
             [layout.port_path(run_dir, i) for i in sites],
             procs,
@@ -187,12 +216,13 @@ def _run_process_mode(config: NetRunConfig, run_dir: Path) -> List[Dict[str, Any
         tmp.write_text(json.dumps(book), encoding="utf-8")
         os.replace(tmp, layout.addrbook_path(run_dir))
 
-        _wait_for_files(
+        lost = _wait_for_files(
             [layout.done_path(run_dir, i) for i in sites],
             procs,
             run_dir,
             deadline_wall,
             "done files",
+            tolerate=tolerate_crashes,
         )
         # Let trailing acks/releases settle before stopping arbiters.
         time.sleep(max(0.2, 4 * config.ack_delay * config.unit))
@@ -203,18 +233,31 @@ def _run_process_mode(config: NetRunConfig, run_dir: Path) -> List[Dict[str, Any
             try:
                 code = proc.wait(timeout=10)
             except subprocess.TimeoutExpired:
+                if tolerate_crashes:
+                    proc.kill()
+                    proc.wait(timeout=5)
+                    continue
                 raise _abort(procs, run_dir, f"site {i} ignored SIGTERM")
-            if code != 0:
+            if code != 0 and not tolerate_crashes:
                 raise _abort(procs, run_dir, f"site {i} exited {code}")
     except BaseException:
         for proc in procs:
             if proc.poll() is None:
                 proc.kill()
         raise
-    return [
-        json.loads(layout.done_path(run_dir, i).read_text(encoding="utf-8"))
-        for i in range(config.n_sites)
-    ]
+    # Harvest every summary that exists; in tolerant mode crashed (or
+    # crash-stranded) sites simply have none — their trace shards, line
+    # buffered and write-through, still carry everything up to the kill.
+    summaries = []
+    for i in range(config.n_sites):
+        done = layout.done_path(run_dir, i)
+        if done.exists():
+            summaries.append(json.loads(done.read_text(encoding="utf-8")))
+        elif not tolerate_crashes:  # pragma: no cover - guarded above
+            raise _abort(procs, run_dir, f"site {i} left no summary")
+    if not summaries:
+        raise _abort(procs, run_dir, "no site produced a summary")
+    return summaries
 
 
 # -- inproc mode -------------------------------------------------------------
@@ -282,19 +325,44 @@ async def _run_inproc_async(
 # -- shared verification/aggregation ------------------------------------------
 
 
+def _truncate_torn_tail(path: Path) -> None:
+    """Drop a torn trailing line a SIGKILL may have left in a shard.
+
+    The shard writer is line buffered, so every completed record ends in
+    a newline; a file ending without one was killed mid-write and the
+    partial record is unrecoverable (and would fail strict import).
+    """
+    data = path.read_bytes()
+    if not data or data.endswith(b"\n"):
+        return
+    cut = data.rfind(b"\n")
+    path.write_bytes(data[: cut + 1] if cut >= 0 else b"")
+
+
 def run_net(
     config: NetRunConfig,
     run_dir=None,
     spawn: str = "process",
+    tolerate_crashes: bool = False,
 ) -> NetRunReport:
     """Execute one real-network run end to end and verify its trace.
 
     Raises :class:`NetRunError` if the run cannot complete (site death,
     deadline). Invariant violations do *not* raise — they are reported in
     :attr:`NetRunReport.violations` for the caller to judge.
+
+    With ``tolerate_crashes`` (process mode) a site dying mid-run — e.g.
+    SIGKILLed by a fault-injection harness — does not abort the run:
+    survivors run to completion or to the deadline (whichever comes
+    first; a survivor can be stuck retrying toward the dead quorum
+    member until the reliable layer gives up), and whatever trace shards
+    exist are merged and replayed through the monitor as usual. The
+    report then covers the survivors' view of the degraded run.
     """
     if spawn not in ("process", "inproc"):
         raise NetRunError(f"unknown spawn mode {spawn!r}")
+    if tolerate_crashes and spawn != "process":
+        raise NetRunError("tolerate_crashes requires process mode")
     run_dir = Path(
         run_dir
         if run_dir is not None
@@ -303,14 +371,21 @@ def run_net(
     run_dir.mkdir(parents=True, exist_ok=True)
     started = time.time()
     if spawn == "process":
-        summaries = _run_process_mode(config, run_dir)
+        summaries = _run_process_mode(config, run_dir, tolerate_crashes)
     else:
         summaries = asyncio.run(_run_inproc_async(config, run_dir))
     wall = time.time() - started
 
     shard_paths = [
-        layout.trace_path(run_dir, i) for i in range(config.n_sites)
+        path
+        for path in (
+            layout.trace_path(run_dir, i) for i in range(config.n_sites)
+        )
+        if not tolerate_crashes or path.exists()
     ]
+    if tolerate_crashes:
+        for path in shard_paths:
+            _truncate_torn_tail(path)
     merged_out = layout.merged_path(run_dir)
     merged = merge_shard_files(
         shard_paths,

@@ -181,6 +181,20 @@ def _extract_lock_service(payload: Dict[str, Any]) -> Dict[str, float]:
     }
 
 
+def _extract_lock_chaos(payload: Dict[str, Any]) -> Dict[str, float]:
+    return {
+        "completed": float(payload["completed"]),
+        "violations": float(payload["violations"]),
+        "crashes": float(payload["crashes"]),
+        "failovers": float(payload["failovers"]),
+        "orphaned": float(payload["orphaned"]),
+        "aborted": float(payload["aborted"]),
+        "availability": float(payload["availability"]),
+        "messages_per_acquire": float(payload["messages_per_acquire"]),
+        "p99_wait": float(payload["p99_wait"]),
+    }
+
+
 def _chaos_spec(metric: str) -> MetricSpec:
     if metric.endswith("/throughput"):
         return MetricSpec(direction="higher")
@@ -222,6 +236,30 @@ BENCHMARKS: Dict[str, Tuple[Extractor, Any]] = {
                 direction="higher", bounds=(5.0, 100.0)
             ),
             "shard_hotspot": MetricSpec(direction="lower"),
+        },
+    ),
+    "lock_chaos": (
+        _extract_lock_chaos,
+        {
+            # Crash schedules draw from shard-qualified RNG streams, so
+            # every counter is deterministic for the pinned seed: exact,
+            # with absolute bounds where the failure model promises one.
+            "completed": MetricSpec(direction="exact"),
+            "violations": MetricSpec(direction="exact", bounds=(0.0, 0.0)),
+            "crashes": MetricSpec(direction="exact"),
+            # Failover must actually be exercised, not vacuously green.
+            "failovers": MetricSpec(
+                direction="exact", bounds=(1.0, float("inf"))
+            ),
+            "orphaned": MetricSpec(direction="exact"),
+            "aborted": MetricSpec(direction="exact"),
+            # Degraded windows are real but bounded: the service stays
+            # mostly up across the seeded crash cycles.
+            "availability": MetricSpec(
+                direction="higher", bounds=(0.25, 1.0)
+            ),
+            "messages_per_acquire": MetricSpec(direction="lower"),
+            "p99_wait": MetricSpec(direction="lower"),
         },
     ),
 }

@@ -87,7 +87,7 @@ def test_clean_run_keeps_reliable_layer_off(capsys):
 
 def test_experiment_ids_registered():
     for exp_id in ("E1", "E2", "E3", "E4", "E5", "E6", "E7a", "E7b", "E8",
-                   "E9", "E13"):
+                   "E9", "E13", "E14", "E15", "E16"):
         assert exp_id in EXPERIMENTS
 
 

@@ -1,0 +1,92 @@
+"""Launcher crash-harvest smoke: SIGKILL one site process mid-run.
+
+The process-per-site deployment must degrade the way the failure model
+promises (DESIGN.md §10): a site killed with ``SIGKILL`` — no cleanup,
+no goodbye, a torn trace shard at worst — must not poison the run.
+With ``tolerate_crashes`` the launcher keeps the survivors going,
+harvests whatever shards exist, and the merged trace still replays
+through the *same* :class:`~repro.obs.monitor.ProtocolMonitor` the
+simulator uses, without crashing the monitor. Survivors whose quorums
+contained the victim exhaust their retransmissions and take the
+reliable layer's give-up path, which the transport counters witness.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+from repro.net import NetRunConfig, run_net
+from repro.net import config as layout
+from repro.obs.export import import_jsonl
+from repro.obs.monitor import ProtocolMonitor
+
+VICTIM = 0
+
+
+def test_sigkilled_site_does_not_poison_the_merged_trace(tmp_path):
+    config = NetRunConfig(
+        algorithm="cao-singhal",
+        n_sites=4,
+        requests_per_site=3,
+        seed=13,
+        # Slow the clock enough that the kill lands mid-workload
+        # (default units finish the whole run in well under a second).
+        unit=0.1,
+        # Few, quick retries: survivors stuck on the victim's quorum
+        # reach the give-up path well inside the deadline.
+        max_retries=3,
+        deadline=12.0,
+    )
+    run_dir = tmp_path / "net-crash"
+    result = {}
+
+    def orchestrate():
+        result["report"] = run_net(
+            config, run_dir=run_dir, spawn="process", tolerate_crashes=True
+        )
+
+    thread = threading.Thread(target=orchestrate)
+    thread.start()
+    try:
+        # Rendezvous done = the address book exists; shortly after, the
+        # shared epoch passes and the workload is in flight.
+        addrbook = layout.addrbook_path(run_dir)
+        rendezvous_deadline = time.time() + 15.0
+        while not addrbook.exists():
+            assert time.time() < rendezvous_deadline, "rendezvous timed out"
+            assert thread.is_alive(), "launcher died before the address book"
+            time.sleep(0.02)
+        time.sleep(0.4)
+        victim_pid = int(
+            layout.pid_path(run_dir, VICTIM).read_text(encoding="utf-8")
+        )
+        os.kill(victim_pid, signal.SIGKILL)
+    finally:
+        thread.join(timeout=90.0)
+    assert not thread.is_alive(), "launcher never returned"
+
+    report = result["report"]
+    # The run was genuinely degraded, not silently perfect or empty:
+    # the victim's requests are (at least partly) missing, while the
+    # survivors' work was harvested.
+    assert report.completed < config.n_sites * config.requests_per_site
+    assert report.monitor["records"] > 0
+
+    # The merged trace exists and replays cleanly through a *fresh*
+    # monitor — the launcher's verdict wasn't a fluke of shared state.
+    merged = import_jsonl(report.merged_path)
+    ProtocolMonitor(strict=False).replay(merged.records)
+
+    # At least one survivor exhausted retransmissions toward the dead
+    # site and took the reliable layer's give-up path.
+    give_ups = sum(
+        row.get("transport", {}).get("give_ups", 0)
+        for row in report.site_summaries
+        if row["site"] != VICTIM
+    )
+    assert give_ups >= 1, (
+        f"no survivor gave up on the killed site: {report.site_summaries}"
+    )
