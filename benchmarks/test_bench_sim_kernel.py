@@ -17,9 +17,13 @@ pre-refactor event count (cheap determinism guard; the byte-level proof
 lives in ``tests/test_kernel_equivalence.py``) and archives the measured
 throughput in ``BENCH_sim_kernel.json``.
 
-The ≥1.3× speedup target from the refactor issue is asserted softly
-(warn, don't fail) because CI containers have wildly varying single-core
-performance; the archived JSON is the artifact reviewers check.
+The ≥2.0× speedup target (raised from 1.3× after the cohort-batched
+main loop, message-construction slimming, and delivery fast path
+landed) is asserted softly (warn, don't fail) because CI containers
+have wildly varying single-core performance; the archived JSON is the
+artifact reviewers check, and the CI trend gate compares runs of the
+same workflow against the committed artifact rather than against an
+absolute number.
 """
 
 from __future__ import annotations
@@ -44,7 +48,7 @@ BASELINE_EVENTS_PER_SEC = 86_821
 #: after the refactor — the run is a pure function of the seed).
 EXPECTED_EVENTS = 63_507
 
-SPEEDUP_TARGET = 1.3
+SPEEDUP_TARGET = 2.0
 
 
 def _scenario() -> RunConfig:

@@ -33,9 +33,13 @@ def slotted_dataclass(cls=None, /, **kwargs):
     return dataclass(**kwargs)(cls)
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class Bundle:
     """Several control messages piggybacked into one network message.
+
+    Immutable by convention, like the message classes it carries (see
+    :mod:`repro.core.messages` for why ``frozen=True`` is avoided on the
+    allocation-hot message path).
 
     Implements the paper's costing rule (Section 5): a control message
     piggybacked onto another counts as a single message, because the cost
@@ -57,6 +61,11 @@ class Bundle:
             raise ValueError("a bundle needs at least two parts")
 
 
+#: Field value of the free-lock sentinel (``Priority.MAX_SENTINEL``),
+#: hoisted to a module constant for the ``is_max`` hot check.
+_MAX_FIELD = 1 << 62
+
+
 def bundle_or_single(*parts: Any) -> Any:
     """Wrap ``parts`` into a :class:`Bundle`, or pass a single one through."""
     if len(parts) == 1:
@@ -64,12 +73,19 @@ def bundle_or_single(*parts: Any) -> Any:
     return Bundle(parts=tuple(parts))
 
 
-@slotted_dataclass(frozen=True, order=True)
+@slotted_dataclass(frozen=True, eq=False)
 class Priority:
     """A Lamport-style request priority: ``(sequence number, site id)``.
 
     Smaller compares as *higher* priority, exactly the paper's rule:
     smaller sequence number wins, ties broken by smaller site number.
+
+    The comparison operators are hand-written rather than generated with
+    ``order=True``: arbiters compare priorities on every request/queue
+    operation, and the generated methods build two tuples per comparison.
+    The manual ones compare the fields directly with identical semantics
+    (including ``NotImplemented`` for foreign types), and ``__hash__``
+    matches the generated field-tuple hash.
     """
 
     seq: int
@@ -77,15 +93,69 @@ class Priority:
 
     MAX_SENTINEL = (1 << 62, 1 << 62)
 
+    def __eq__(self, other: Any) -> Any:
+        if other.__class__ is Priority:
+            return self.seq == other.seq and self.site == other.site
+        return NotImplemented
+
+    def __lt__(self, other: "Priority") -> Any:
+        if other.__class__ is Priority:
+            seq = self.seq
+            oseq = other.seq
+            if seq != oseq:
+                return seq < oseq
+            return self.site < other.site
+        return NotImplemented
+
+    def __le__(self, other: "Priority") -> Any:
+        if other.__class__ is Priority:
+            seq = self.seq
+            oseq = other.seq
+            if seq != oseq:
+                return seq < oseq
+            return self.site <= other.site
+        return NotImplemented
+
+    def __gt__(self, other: "Priority") -> Any:
+        if other.__class__ is Priority:
+            seq = self.seq
+            oseq = other.seq
+            if seq != oseq:
+                return seq > oseq
+            return self.site > other.site
+        return NotImplemented
+
+    def __ge__(self, other: "Priority") -> Any:
+        if other.__class__ is Priority:
+            seq = self.seq
+            oseq = other.seq
+            if seq != oseq:
+                return seq > oseq
+            return self.site >= other.site
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.seq, self.site))
+
     @classmethod
     def maximum(cls) -> "Priority":
-        """The ``(max, max)`` sentinel used for a free lock."""
-        return cls(*cls.MAX_SENTINEL)
+        """The ``(max, max)`` sentinel used for a free lock.
+
+        Returns one shared (immutable) instance: arbiters reset their
+        lock to the sentinel on every release-to-free, and the sentinel
+        is a pure value — interning it saves an allocation per tenure
+        without any observable difference (all comparisons are by field).
+        """
+        return _MAXIMUM
 
     @property
     def is_max(self) -> bool:
         """True for the free-lock sentinel."""
-        return (self.seq, self.site) == self.MAX_SENTINEL
+        return self.seq == _MAX_FIELD and self.site == _MAX_FIELD
 
     def __str__(self) -> str:
         return "(max,max)" if self.is_max else f"({self.seq},{self.site})"
+
+
+#: The interned free-lock sentinel handed out by :meth:`Priority.maximum`.
+_MAXIMUM = Priority(_MAX_FIELD, _MAX_FIELD)

@@ -349,6 +349,7 @@ class FaultTolerantSite(CaoSinghalSite):
             return False
         self.inaccessible = False
         self.quorum = frozenset(new_quorum)
+        self._quorum_sorted = tuple(sorted(self.quorum))
         if restart and self.state is SiteState.REQUESTING:
             self._begin_request()
         return True

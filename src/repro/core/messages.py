@@ -6,6 +6,19 @@ stale control traffic ("if an inquire or fail ... arrives after S_j has
 sent release ..., S_j just ignores it"); carrying the concerned request's
 timestamp makes every staleness check a single equality comparison, which
 is also how a production implementation over UDP/TCP would do it.
+
+Messages are slotted dataclasses, immutable **by convention**: nothing in
+the codebase mutates a message after construction (they are shared across
+fanouts, trace records, and explorer world clones on that premise), but
+the classes are not ``frozen=True`` — a frozen dataclass ``__init__``
+routes every field through ``object.__setattr__``, which triples the
+construction cost of the tens of thousands of messages a saturation run
+allocates. ``unsafe_hash=True`` keeps the generated field-tuple ``__eq__``
+and ``__hash__`` of the frozen version, so equality, hashing, reprs, and
+the :func:`dataclasses.fields`-driven trace/wire codec are unchanged.
+
+:data:`pool` is an opt-in free-list recycler for the highest-churn
+consumed-on-delivery message types; see :class:`MessagePool`.
 """
 
 from __future__ import annotations
@@ -17,7 +30,7 @@ from repro.common import Priority, slotted_dataclass
 SiteId = int
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class Request:
     """``request(sn, i)``: ``S_i`` asks an arbiter's permission to enter CS."""
 
@@ -26,7 +39,7 @@ class Request:
     type_name = "request"
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class Reply:
     """``reply(j)``: permission of arbiter ``S_j`` granted to a requester.
 
@@ -54,7 +67,7 @@ class Reply:
     type_name = "reply"
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class Release:
     """``release(i, j)``: ``S_i`` exited the CS.
 
@@ -73,7 +86,7 @@ class Release:
     type_name = "release"
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class Inquire:
     """``inquire(j)``: arbiter ``S_j`` asks its lock holder whether it has
     succeeded in collecting all replies (and will otherwise yield)."""
@@ -86,7 +99,7 @@ class Inquire:
     type_name = "inquire"
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class Fail:
     """``fail(j)``: arbiter ``S_j`` cannot grant this request now because a
     higher-priority request holds or precedes it."""
@@ -97,7 +110,7 @@ class Fail:
     type_name = "fail"
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class Yield:
     """``yield(i)``: the lock holder returns the arbiter's permission so a
     higher-priority request can proceed."""
@@ -109,7 +122,7 @@ class Yield:
     type_name = "yield"
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class Transfer:
     """``transfer(k, j)``: arbiter ``S_j`` asks its lock holder to send a
     ``reply(j)`` to beneficiary ``S_k`` when it exits the CS.
@@ -130,7 +143,7 @@ class Transfer:
     type_name = "transfer"
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class FailureNotice:
     """``failure(i)``: broadcast when site ``failed_site`` is detected down
     (Section 6 recovery protocol)."""
@@ -140,7 +153,7 @@ class FailureNotice:
     type_name = "failure"
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class Probe:
     """Recovery reconciliation (fault-tolerance extension, not in paper).
 
@@ -162,7 +175,7 @@ class Probe:
     type_name = "probe"
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class ProbeAck:
     """Answer to a :class:`Probe`: whether the probed site's request
     ``target`` currently holds the arbiter's permission."""
@@ -174,7 +187,7 @@ class ProbeAck:
     type_name = "probe-ack"
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class RejoinProbe:
     """Rejoin reconciliation (fault-tolerance extension, not in paper).
 
@@ -193,7 +206,7 @@ class RejoinProbe:
     type_name = "rejoin-probe"
 
 
-@slotted_dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class RejoinAck:
     """Answer to a :class:`RejoinProbe`.
 
@@ -213,3 +226,113 @@ class RejoinAck:
     epoch: int = 0
 
     type_name = "rejoin-ack"
+
+
+class MessagePool:
+    """Opt-in free-lists for the consumed-on-delivery control messages.
+
+    A saturation run allocates one :class:`Reply`/:class:`Fail`/
+    :class:`Inquire`/:class:`Yield` per protocol step and drops it the
+    moment the handler returns — none of these four types is ever
+    retained (requests can be parked by the rejoin protocol and releases
+    buffered out-of-order, so those types are *not* pooled). When the
+    pool is armed, :meth:`repro.core.site.CaoSinghalSite.on_message`
+    recycles each one after its handler runs, and the ``new_*`` factories
+    reuse recycled instances instead of allocating.
+
+    Disarmed (the default) the factories construct normally and
+    :meth:`recycle` is a no-op, so the default path is byte-identical to
+    plain constructor calls. Arming is only sound when delivered messages
+    are truly consumed-on-delivery: no trace retaining payloads, no
+    fault-model duplicates sharing them, no reliable transport buffering
+    them. :func:`repro.experiments.runner.run_mutex` arms the pool only
+    for runs that satisfy all of that (and only when the
+    ``REPRO_MSG_POOL=1`` environment toggle asks for it); the equivalence
+    suite pins that pooled runs produce byte-identical summaries.
+    """
+
+    __slots__ = ("enabled", "reused", "recycled", "_free")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        #: Instances handed back out by the ``new_*`` factories.
+        self.reused = 0
+        #: Instances returned by :meth:`recycle` while armed.
+        self.recycled = 0
+        self._free = {Reply: [], Fail: [], Inquire: [], Yield: []}
+
+    def arm(self) -> None:
+        """Start recycling (see class docstring for the soundness rules)."""
+        self.enabled = True
+
+    def disarm(self) -> None:
+        """Stop recycling and drop every pooled instance."""
+        self.enabled = False
+        for free in self._free.values():
+            del free[:]
+
+    def recycle(self, msg: object) -> None:
+        """Return a consumed message for reuse (no-op while disarmed)."""
+        if not self.enabled:
+            return
+        free = self._free.get(msg.__class__)
+        if free is not None:
+            free.append(msg)
+            self.recycled += 1
+
+    # -- factories (constructor-compatible signatures) --------------------
+
+    def new_reply(
+        self,
+        arbiter: SiteId,
+        grantee: Priority,
+        forwarded_by: Optional[SiteId] = None,
+        epoch: int = 0,
+    ) -> Reply:
+        free = self._free[Reply]
+        if free:
+            msg = free.pop()
+            self.reused += 1
+            msg.arbiter = arbiter
+            msg.grantee = grantee
+            msg.forwarded_by = forwarded_by
+            msg.epoch = epoch
+            return msg
+        return Reply(arbiter, grantee, forwarded_by, epoch)
+
+    def new_fail(self, arbiter: SiteId, target: Priority) -> Fail:
+        free = self._free[Fail]
+        if free:
+            msg = free.pop()
+            self.reused += 1
+            msg.arbiter = arbiter
+            msg.target = target
+            return msg
+        return Fail(arbiter, target)
+
+    def new_inquire(
+        self, arbiter: SiteId, target: Priority, epoch: int = 0
+    ) -> Inquire:
+        free = self._free[Inquire]
+        if free:
+            msg = free.pop()
+            self.reused += 1
+            msg.arbiter = arbiter
+            msg.target = target
+            msg.epoch = epoch
+            return msg
+        return Inquire(arbiter, target, epoch)
+
+    def new_yield(self, yielder: Priority, epoch: int = 0) -> Yield:
+        free = self._free[Yield]
+        if free:
+            msg = free.pop()
+            self.reused += 1
+            msg.yielder = yielder
+            msg.epoch = epoch
+            return msg
+        return Yield(yielder, epoch)
+
+
+#: Process-wide pool instance; disarmed unless a runner arms it.
+pool = MessagePool()

@@ -61,6 +61,7 @@ from repro.core.messages import (
     Transfer,
     Yield,
 )
+from repro.core.messages import pool as _pool
 from repro.core.state import ArbiterState, RequesterState
 from repro.errors import ProtocolError
 from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
@@ -90,6 +91,7 @@ class CaoSinghalSite(MutexSite):
 
     __slots__ = (
         "quorum",
+        "_quorum_sorted",
         "enable_transfer",
         "arbiter",
         "req",
@@ -109,6 +111,11 @@ class CaoSinghalSite(MutexSite):
         self.quorum = frozenset(quorum)
         if not self.quorum:
             raise ProtocolError(f"site {site_id} has an empty quorum")
+        #: The quorum in its canonical (sorted) broadcast order, interned
+        #: once — the request/release fanouts iterate it every CS cycle.
+        #: Must be refreshed wherever ``quorum`` is reassigned (see
+        #: FaultTolerantSite._adopt_new_quorum).
+        self._quorum_sorted = tuple(sorted(self.quorum))
         self.enable_transfer = enable_transfer
         self.arbiter = ArbiterState()
         self.req = RequesterState()
@@ -133,8 +140,10 @@ class CaoSinghalSite(MutexSite):
         self.max_seq_seen += 1
         priority = Priority(self.max_seq_seen, self.site_id)
         self.req.reset_for(priority, self.quorum)
-        for member in sorted(self.quorum):
-            self.send(member, Request(priority))
+        # One frozen Request shared across the whole fanout: the message
+        # is an immutable value object, so every member can receive the
+        # same instance (saves |quorum|-1 allocations per CS cycle).
+        self.send_fanout(self._quorum_sorted, Request(priority))
 
     def _record_reply(self, msg: Reply) -> None:
         """Step A.6 plus the entry check of step B."""
@@ -199,13 +208,13 @@ class CaoSinghalSite(MutexSite):
         self.req.replied[arbiter] = False
         self.req.failed = True
         self.req.tran_stack.drop_arbiter(arbiter)
-        self.send(
-            arbiter,
-            Yield(
-                yielder=self.req.priority,
-                epoch=self.req.grant_epoch.get(arbiter, 0),
-            ),
+        epoch = self.req.grant_epoch.get(arbiter, 0)
+        msg = (
+            _pool.new_yield(self.req.priority, epoch)
+            if _pool.enabled
+            else Yield(self.req.priority, epoch)
         )
+        self.send(arbiter, msg)
 
     def _record_transfer(self, msg: Transfer) -> None:
         """Step A.5: accept a forwarding instruction if still relevant."""
@@ -229,25 +238,24 @@ class CaoSinghalSite(MutexSite):
                 transfer = self.req.tran_stack.pop()
                 self.req.tran_stack.drop_arbiter(transfer.arbiter)
                 honoured[transfer.arbiter] = transfer.beneficiary
+                # Forwarding opens the beneficiary's tenure: one past the
+                # tenure the transfer was issued in.
                 self.send(
                     transfer.beneficiary.site,
                     Reply(
-                        arbiter=transfer.arbiter,
-                        grantee=transfer.beneficiary,
-                        forwarded_by=self.site_id,
-                        # Forwarding opens the beneficiary's tenure: one
-                        # past the tenure the transfer was issued in.
-                        epoch=transfer.holder_epoch + 1,
+                        transfer.arbiter,
+                        transfer.beneficiary,
+                        self.site_id,
+                        transfer.holder_epoch + 1,
                     ),
                 )
-        for member in sorted(self.quorum):
+        priority = self.req.priority
+        grant_epoch = self.req.grant_epoch
+        honoured_get = honoured.get
+        for member in self._quorum_sorted:
             self.send(
                 member,
-                Release(
-                    releaser=self.req.priority,
-                    transferred_to=honoured.get(member),
-                    epoch=self.req.grant_epoch.get(member, 0),
-                ),
+                Release(priority, honoured_get(member), grant_epoch.get(member, 0)),
             )
         self.req.priority = None
         self.req.inq_pending.clear()
@@ -258,7 +266,9 @@ class CaoSinghalSite(MutexSite):
 
     def _handle_request(self, msg: Request) -> None:
         """Step A.2."""
-        self.max_seq_seen = max(self.max_seq_seen, msg.priority.seq)
+        seq = msg.priority.seq
+        if seq > self.max_seq_seen:
+            self.max_seq_seen = seq
         arb = self.arbiter
         if arb.is_free:
             if arb.req_queue:
@@ -266,14 +276,12 @@ class CaoSinghalSite(MutexSite):
                     f"arbiter {self.site_id} is free with a non-empty queue"
                 )
             arb.install(msg.priority)
-            self.send(
-                msg.priority.site,
-                Reply(
-                    arbiter=self.site_id,
-                    grantee=msg.priority,
-                    epoch=arb.epoch,
-                ),
+            reply = (
+                _pool.new_reply(self.site_id, msg.priority, None, arb.epoch)
+                if _pool.enabled
+                else Reply(self.site_id, msg.priority, None, arb.epoch)
             )
+            self.send(msg.priority.site, reply)
             return
 
         newcomer = msg.priority
@@ -282,34 +290,35 @@ class CaoSinghalSite(MutexSite):
 
         # Rule 1: fail the newcomer unless it beats both lock and queue.
         if newcomer > arb.lock or (old_head is not None and newcomer > old_head):
-            self.send(
-                newcomer.site, Fail(arbiter=self.site_id, target=newcomer)
+            fail = (
+                _pool.new_fail(self.site_id, newcomer)
+                if _pool.enabled
+                else Fail(self.site_id, newcomer)
             )
+            self.send(newcomer.site, fail)
 
         if becomes_head:
             # Rule 2: the displaced head learns it is no longer next —
             # unless it already failed on arrival (it beat nothing then).
             if old_head is not None and old_head < arb.lock:
-                self.send(
-                    old_head.site, Fail(arbiter=self.site_id, target=old_head)
+                fail = (
+                    _pool.new_fail(self.site_id, old_head)
+                    if _pool.enabled
+                    else Fail(self.site_id, old_head)
                 )
+                self.send(old_head.site, fail)
             # Rule 3: instruct the lock holder, maybe asking it to yield.
             parts: List[object] = []
             if self.enable_transfer:
                 parts.append(
-                    Transfer(
-                        beneficiary=newcomer,
-                        arbiter=self.site_id,
-                        holder=arb.lock,
-                        holder_epoch=arb.epoch,
-                    )
+                    Transfer(newcomer, self.site_id, arb.lock, arb.epoch)
                 )
             inquire_outstanding = old_head is not None and old_head < arb.lock
             if newcomer < arb.lock and not inquire_outstanding:
                 parts.append(
-                    Inquire(
-                        arbiter=self.site_id, target=arb.lock, epoch=arb.epoch
-                    )
+                    _pool.new_inquire(self.site_id, arb.lock, arb.epoch)
+                    if _pool.enabled
+                    else Inquire(self.site_id, arb.lock, arb.epoch)
                 )
             if parts:
                 self.send(
@@ -338,18 +347,13 @@ class CaoSinghalSite(MutexSite):
         for the next-in-line when one exists (A.4 and C.2)."""
         arb = self.arbiter
         parts: List[object] = [
-            Reply(arbiter=self.site_id, grantee=grantee, epoch=arb.epoch)
+            _pool.new_reply(self.site_id, grantee, None, arb.epoch)
+            if _pool.enabled
+            else Reply(self.site_id, grantee, None, arb.epoch)
         ]
         head = arb.req_queue.head()
         if head is not None and self.enable_transfer:
-            parts.append(
-                Transfer(
-                    beneficiary=head,
-                    arbiter=self.site_id,
-                    holder=grantee,
-                    holder_epoch=arb.epoch,
-                )
-            )
+            parts.append(Transfer(head, self.site_id, grantee, arb.epoch))
         self.send(grantee.site, bundle_or_single(*parts), piggybacked=len(parts) > 1)
 
     def _handle_release(self, src: SiteId, msg: Release) -> None:
@@ -390,25 +394,14 @@ class CaoSinghalSite(MutexSite):
             head = arb.req_queue.head()
             if head is not None and self.enable_transfer:
                 parts: List[object] = [
-                    Transfer(
-                        beneficiary=head,
-                        arbiter=self.site_id,
-                        holder=beneficiary,
-                        holder_epoch=arb.epoch,
-                    )
+                    Transfer(head, self.site_id, beneficiary, arb.epoch)
                 ]
                 if head < beneficiary:
                     # The queue head outranks the freshly installed lock
                     # holder; any inquire sent during the previous tenure
                     # died with it, so this tenure needs its own (same
                     # rule as A.2, applied at the lock handover).
-                    parts.append(
-                        Inquire(
-                            arbiter=self.site_id,
-                            target=beneficiary,
-                            epoch=arb.epoch,
-                        )
-                    )
+                    parts.append(Inquire(self.site_id, beneficiary, arb.epoch))
                 self.send(
                     beneficiary.site,
                     bundle_or_single(*parts),
@@ -428,9 +421,41 @@ class CaoSinghalSite(MutexSite):
     # ------------------------------------------------------------------
 
     def on_message(self, src: SiteId, message: object) -> None:
-        """Route one (possibly piggybacked) protocol message."""
-        for part in getattr(message, "parts", (message,)):
-            self._dispatch_part(src, part)
+        """Route one (possibly piggybacked) protocol message.
+
+        The seven core message classes dispatch on exact class identity
+        (no per-message ``parts`` getattr, no tuple allocation, no
+        isinstance chain); anything else — piggyback bundles and the
+        extra message types of subclasses — falls through to
+        :meth:`_dispatch_part`, which remains the extensible per-part
+        entry point.
+        """
+        cls = message.__class__
+        if cls is Request:
+            self._handle_request(message)
+        elif cls is Reply:
+            self._record_reply(message)
+            if _pool.enabled:
+                _pool.recycle(message)
+        elif cls is Release:
+            self._handle_release(src, message)
+        elif cls is Inquire:
+            self._record_inquire(message)
+            if _pool.enabled:
+                _pool.recycle(message)
+        elif cls is Fail:
+            self._record_fail(message)
+            if _pool.enabled:
+                _pool.recycle(message)
+        elif cls is Yield:
+            self._handle_yield(message)
+            if _pool.enabled:
+                _pool.recycle(message)
+        elif cls is Transfer:
+            self._record_transfer(message)
+        else:
+            for part in getattr(message, "parts", (message,)):
+                self._dispatch_part(src, part)
 
     def _dispatch_part(self, src: SiteId, part: object) -> None:
         if isinstance(part, Request):

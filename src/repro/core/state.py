@@ -19,17 +19,33 @@ from repro.common import Priority, slotted_dataclass
 SiteId = int
 
 
+#: Bits reserved for the site id in a packed queue key. 2^32 sites is
+#: far beyond any simulated system; the guard in :meth:`RequestQueue.push`
+#: keeps the encoding honest.
+_SITE_BITS = 32
+_SITE_LIMIT = 1 << _SITE_BITS
+
+
 class RequestQueue:
     """The arbiter's priority queue of waiting requests (``req_queue``).
 
     Kept sorted ascending; the head (index 0) is the highest-priority
     waiting request. Supports the removal patterns the protocol needs:
     pop-head, remove-by-exact-priority, remove-by-site.
+
+    Array-encoded internally: alongside the :class:`Priority` objects the
+    queue keeps a parallel ``list[int]`` of packed ``(seq << 32) | site``
+    keys. Packed keys order exactly like the paper's ``(seq, site)``
+    lexicographic rule, so every bisect runs C integer comparisons
+    instead of calling ``Priority.__lt__`` per probe — the queue is on
+    the arbiter's per-message hot path. The iteration/head/pop API still
+    yields the shared immutable :class:`Priority` objects.
     """
 
-    __slots__ = ("_items",)
+    __slots__ = ("_keys", "_items")
 
     def __init__(self) -> None:
+        self._keys: List[int] = []
         self._items: List[Priority] = []
 
     def __len__(self) -> int:
@@ -39,14 +55,26 @@ class RequestQueue:
         return bool(self._items)
 
     def __contains__(self, priority: Priority) -> bool:
-        return priority in self._items
+        keys = self._keys
+        key = (priority.seq << _SITE_BITS) | priority.site
+        idx = bisect.bisect_left(keys, key)
+        return idx < len(keys) and keys[idx] == key
 
     def __iter__(self):
         return iter(self._items)
 
     def push(self, priority: Priority) -> None:
         """Insert keeping ascending (highest priority first) order."""
-        bisect.insort(self._items, priority)
+        site = priority.site
+        if not 0 <= site < _SITE_LIMIT and not priority.is_max:
+            # The free-lock sentinel's (max, max) fields exceed the
+            # packed layout, but its key still sorts after every
+            # in-range key (the seq term dominates), so it passes.
+            raise ValueError(f"site id {site} outside the packed-key range")
+        key = (priority.seq << _SITE_BITS) | site
+        idx = bisect.bisect_left(self._keys, key)
+        self._keys.insert(idx, key)
+        self._items.insert(idx, priority)
 
     def head(self) -> Optional[Priority]:
         """Highest-priority waiting request, or ``None``."""
@@ -54,12 +82,16 @@ class RequestQueue:
 
     def pop_head(self) -> Priority:
         """Remove and return the highest-priority waiting request."""
+        del self._keys[0]
         return self._items.pop(0)
 
     def remove(self, priority: Priority) -> bool:
         """Remove an exact entry; returns whether it was present."""
-        idx = bisect.bisect_left(self._items, priority)
-        if idx < len(self._items) and self._items[idx] == priority:
+        keys = self._keys
+        key = (priority.seq << _SITE_BITS) | priority.site
+        idx = bisect.bisect_left(keys, key)
+        if idx < len(keys) and keys[idx] == key:
+            del keys[idx]
             del self._items[idx]
             return True
         return False
@@ -68,12 +100,14 @@ class RequestQueue:
         """Remove the entry of ``site`` (at most one exists); return it."""
         for idx, item in enumerate(self._items):
             if item.site == site:
+                del self._keys[idx]
                 return self._items.pop(idx)
         return None
 
     def clone(self) -> "RequestQueue":
         """Independent copy (entries are immutable and shared)."""
         new = RequestQueue.__new__(RequestQueue)
+        new._keys = list(self._keys)
         new._items = list(self._items)
         return new
 

@@ -75,20 +75,25 @@ def replicate(
     metric_name: str = "metric",
     workers: Optional[int] = None,
     cache: Optional["RunCache"] = None,
+    chunk_size: Optional[int] = None,
+    dispatch: Optional[str] = None,
 ) -> Replication:
     """Run ``config`` once per seed and aggregate ``metric``.
 
     The config's workload object is shared across runs (workloads are
     stateless descriptors), but each run gets its own simulator and RNG
-    streams derived from the seed. ``workers`` and ``cache`` are passed
-    straight to :class:`~repro.parallel.TrialPool`; neither affects the
-    samples, only how fast they are produced.
+    streams derived from the seed. ``workers``, ``cache``,
+    ``chunk_size``, and ``dispatch`` are passed straight to
+    :class:`~repro.parallel.TrialPool`; none affects the samples, only
+    how fast they are produced.
     """
     if not seeds:
         raise ConfigurationError("need at least one seed")
     from repro.parallel.pool import TrialPool
 
-    summaries = TrialPool(workers=workers, cache=cache).run_seeds(config, seeds)
+    summaries = TrialPool(
+        workers=workers, cache=cache, chunk_size=chunk_size, dispatch=dispatch
+    ).run_seeds(config, seeds)
     return Replication(
         metric=metric_name, samples=[metric(s) for s in summaries]
     )

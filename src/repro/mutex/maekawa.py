@@ -19,17 +19,16 @@ per CS execution, matching the paper's Table 1 row.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Optional, Set
 
 from repro.core.state import ArbiterState
 from repro.errors import ProtocolError
 from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
-from repro.common import Priority
+from repro.common import Priority, slotted_dataclass
 from repro.substrate import SiteId
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class MkRequest:
     """Ask an arbiter for its lock."""
 
@@ -38,7 +37,7 @@ class MkRequest:
     type_name = "request"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class MkLocked:
     """Arbiter's grant (Maekawa's ``locked``)."""
 
@@ -48,7 +47,7 @@ class MkLocked:
     type_name = "reply"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class MkFailed:
     """The arbiter is held by a higher-priority request."""
 
@@ -58,7 +57,7 @@ class MkFailed:
     type_name = "fail"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class MkInquire:
     """Arbiter asks its lock holder to relinquish for a better request."""
 
@@ -68,7 +67,7 @@ class MkInquire:
     type_name = "inquire"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class MkRelinquish:
     """Lock holder gives the arbiter's grant back (Maekawa's yield)."""
 
@@ -77,7 +76,7 @@ class MkRelinquish:
     type_name = "yield"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class MkRelease:
     """CS exit notification to an arbiter."""
 
@@ -102,6 +101,8 @@ class MaekawaSite(MutexSite):
         self.quorum = frozenset(quorum)
         if not self.quorum:
             raise ProtocolError(f"site {site_id} has an empty quorum")
+        #: Canonical broadcast order, interned once (fanout hot path).
+        self._quorum_sorted = tuple(sorted(self.quorum))
         self.arbiter = ArbiterState()
         #: True once an inquire was sent for the current lock tenure.
         self.inquired = False
@@ -122,16 +123,15 @@ class MaekawaSite(MutexSite):
         self.locked_from.clear()
         self.failed = False
         self.inq_pending.clear()
-        for member in sorted(self.quorum):
-            self.send(member, MkRequest(self.my_request))
+        # One frozen request shared across the whole fanout.
+        self.send_fanout(self._quorum_sorted, MkRequest(self.my_request))
 
     def _exit_protocol(self) -> None:
         assert self.my_request is not None
         release = MkRelease(self.my_request)
         self.my_request = None
         self.inq_pending.clear()
-        for member in sorted(self.quorum):
-            self.send(member, release)
+        self.send_fanout(self._quorum_sorted, release)
 
     def _handle_locked(self, msg: MkLocked) -> None:
         if self.my_request is None or msg.grantee != self.my_request:

@@ -8,15 +8,14 @@ per CS execution and synchronization delay ``T``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.mutex.base import DurationSpec, MutexSite, RunListener, SiteState
-from repro.common import Priority
+from repro.common import Priority, slotted_dataclass
 from repro.substrate import SiteId
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class RARequest:
     """Broadcast CS request."""
 
@@ -25,7 +24,7 @@ class RARequest:
     type_name = "request"
 
 
-@dataclass(frozen=True)
+@slotted_dataclass(unsafe_hash=True)
 class RAReply:
     """Permission for the receiver's request ``grantee``."""
 

@@ -16,10 +16,18 @@ from repro.parallel.cache import (
     describe_config,
     fingerprint,
 )
-from repro.parallel.pool import WORKERS_ENV, TrialPool, resolve_workers, run_trials
+from repro.parallel.pool import (
+    DISPATCH_ENV,
+    WORKERS_ENV,
+    TrialPool,
+    resolve_dispatch,
+    resolve_workers,
+    run_trials,
+)
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "DISPATCH_ENV",
     "PROTOCOL_VERSION",
     "RunCache",
     "TrialPool",
@@ -27,6 +35,7 @@ __all__ = [
     "default_cache_dir",
     "describe_config",
     "fingerprint",
+    "resolve_dispatch",
     "resolve_workers",
     "run_trials",
 ]

@@ -18,8 +18,26 @@ count or completion order. Three consequences drive the design:
   failure in input order so even the error is deterministic.
 * **Graceful degradation.** ``workers=1`` (or a single pending trial)
   runs in-process with no pickling at all; configs that cannot be
-  pickled (e.g. a lambda ``cs_duration``) fall back to in-process
-  execution with a warning instead of crashing.
+  pickled (e.g. a lambda ``cs_duration``) fall back to threaded
+  dispatch (no process boundary, no pickling) with a warning instead
+  of crashing.
+
+Dispatch is **chunked**: pending trials are grouped into runs of
+``chunk_size`` and each chunk crosses the worker boundary as one unit,
+so a sweep of hundreds of 10ms trials pays per-chunk (not per-trial)
+pickling and scheduling overhead. The backend is selected by the
+``dispatch`` argument / ``REPRO_DISPATCH`` environment variable:
+
+``process``
+    ``ProcessPoolExecutor`` — true parallelism, needs picklable configs.
+``thread``
+    ``ThreadPoolExecutor`` — GIL-bound (the sims are pure Python
+    compute, so expect ~1x throughput), but zero pickling; useful for
+    unpicklable configs and as an overhead floor on small hosts.
+``auto`` (default)
+    Processes when the host has >1 CPU and the configs pickle, threads
+    when they don't, straight in-process when neither pool can help
+    (one worker, one chunk, or a 1-CPU host).
 """
 
 from __future__ import annotations
@@ -27,7 +45,7 @@ from __future__ import annotations
 import os
 import pickle
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -38,6 +56,12 @@ from repro.parallel.cache import RunCache
 
 #: Environment override for the default worker count.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment override for the dispatch backend.
+DISPATCH_ENV = "REPRO_DISPATCH"
+
+#: Valid dispatch backends.
+_DISPATCH_MODES = ("auto", "process", "thread")
 
 #: One trial's outcome, shaped for transport across the process boundary.
 #: The payload is a RunSummary for mutex trials, an arbitrary picklable
@@ -62,6 +86,26 @@ def resolve_workers(workers: Optional[int] = None) -> int:
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     return workers
+
+
+def resolve_dispatch(dispatch: Optional[str] = None) -> str:
+    """Effective backend: explicit > ``$REPRO_DISPATCH`` > ``auto``."""
+    if dispatch is None:
+        dispatch = os.environ.get(DISPATCH_ENV) or "auto"
+    if dispatch not in _DISPATCH_MODES:
+        raise ConfigurationError(
+            f"dispatch must be one of {_DISPATCH_MODES}, got {dispatch!r}"
+        )
+    return dispatch
+
+
+def _auto_chunk(n_trials: int, workers: int) -> int:
+    """Default chunk size: ~2 chunks per worker.
+
+    Big enough to amortize per-chunk pickling/scheduling, small enough
+    that a straggler chunk can't idle the other workers for long.
+    """
+    return max(1, -(-n_trials // (workers * 2)))
 
 
 def _attach_seed(exc: BaseException, seed: int) -> BaseException:
@@ -95,21 +139,42 @@ def _run_trial(config: RunConfig) -> _Outcome:
         return ("error", exc)
 
 
+def _run_chunk(configs: Sequence[RunConfig]) -> List[_Outcome]:
+    """Execute one chunk of trials serially inside a worker.
+
+    Chunking moves the pickling/scheduling cost from per-trial to
+    per-chunk; outcomes come back in chunk order, which the parent
+    flattens back to input order.
+    """
+    return [_run_trial(config) for config in configs]
+
+
 class TrialPool:
     """Runs batches of independent trials, optionally cached and parallel.
 
     ``workers`` defaults to ``os.cpu_count()`` (override with the
     ``REPRO_WORKERS`` environment variable); pass ``cache`` to reuse and
-    record results across runs.
+    record results across runs. ``chunk_size`` fixes how many trials
+    cross the worker boundary per dispatch (default: computed so each
+    worker gets ~2 chunks); ``dispatch`` picks the backend (``auto`` |
+    ``process`` | ``thread``, default from ``$REPRO_DISPATCH``).
     """
 
     def __init__(
         self,
         workers: Optional[int] = None,
         cache: Optional[RunCache] = None,
+        chunk_size: Optional[int] = None,
+        dispatch: Optional[str] = None,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.cache = cache
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
+        self.chunk_size = chunk_size
+        self.dispatch = resolve_dispatch(dispatch)
 
     # -- execution ---------------------------------------------------------
 
@@ -164,18 +229,35 @@ class TrialPool:
     def _execute(
         self, pending: Sequence[Tuple[int, RunConfig]]
     ) -> List[_Outcome]:
-        workers = min(self.workers, len(pending))
-        if workers > 1 and not self._picklable(pending):
+        if not pending:
+            return []
+        configs = [config for _, config in pending]
+        n_trials = len(configs)
+        workers = min(self.workers, n_trials)
+        chunk = self.chunk_size or _auto_chunk(n_trials, workers)
+
+        mode = self.dispatch
+        if mode != "thread" and workers > 1 and not self._picklable(pending):
+            # Threads share the parent's heap: no pickling, so the only
+            # usable pool for an unpicklable config.
+            mode = "thread"
+        if mode != "thread" and workers > 1 and (os.cpu_count() or 1) < 2:
+            # Degenerate host: with one CPU a process pool can only add
+            # fork, pickle, and scheduling overhead (measured ~0.98x
+            # speedup), so even an explicit workers>1 degrades.
             workers = 1
-        if workers > 1 and (os.cpu_count() or 1) < 2:
-            # Degenerate host: with one CPU the pool can only add fork,
-            # pickle, and scheduling overhead (measured ~0.98x speedup),
-            # so even an explicit workers>1 degrades to in-process.
-            workers = 1
-        if workers <= 1:
-            return [_run_trial(config) for _, config in pending]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_run_trial, (c for _, c in pending)))
+        if workers <= 1 or chunk >= n_trials:
+            # One worker — or one chunk, which a pool would hand to a
+            # single worker anyway: run here and skip the pool entirely.
+            return _run_chunk(configs)
+
+        chunks = [configs[i : i + chunk] for i in range(0, n_trials, chunk)]
+        executor = (
+            ThreadPoolExecutor if mode == "thread" else ProcessPoolExecutor
+        )
+        with executor(max_workers=workers) as pool:
+            parts = list(pool.map(_run_chunk, chunks))
+        return [outcome for part in parts for outcome in part]
 
     @staticmethod
     def _picklable(pending: Sequence[Tuple[int, RunConfig]]) -> bool:
@@ -185,7 +267,8 @@ class TrialPool:
         except Exception:
             warnings.warn(
                 "trial config is not picklable (callable cs_duration or "
-                "workload?); running in-process instead of a worker pool",
+                "workload?); using threaded dispatch instead of a "
+                "process pool",
                 RuntimeWarning,
                 stacklevel=3,
             )

@@ -369,15 +369,20 @@ class Network:
 
     __slots__ = (
         "_sample",
+        "_uniform_low",
+        "_uniform_span",
+        "_rng_random",
         "_mean_delay",
         "_rng",
         "_schedule",
         "_now",
         "_last_delivery",
         "_deliver_cb",
+        "_deliver_fn",
         "_crashed",
         "_incarnation",
         "_severed",
+        "_ever_faulted",
         "_faults",
         "_fault_rng",
         "_burst_bad",
@@ -403,10 +408,26 @@ class Network:
         self._sample = delay_model.sample
         self._mean_delay = delay_model.mean
         self._rng = rng
+        self._rng_random = rng.random
+        # Uniform delays (the default and the benchmark workhorse) are
+        # sampled inline: ``low + span * random()`` is the exact
+        # expression ``random.Random.uniform`` evaluates, so the sampled
+        # floats are bit-identical while skipping two call frames.
+        if type(delay_model) is UniformDelay:
+            self._uniform_low = delay_model._low
+            self._uniform_span = delay_model._high - delay_model._low
+        else:
+            self._uniform_low = None
+            self._uniform_span = 0.0
         self._schedule = schedule
         self._now = now
         self._last_delivery: Dict[Tuple[SiteId, SiteId], float] = {}
         self._deliver_cb: Optional[DeliverCallback] = None
+        #: The callback scheduled for each due message. Defaults to the
+        #: layered :meth:`_deliver` (drop checks here, then the delivery
+        #: callback); the simulator replaces it with its fused
+        #: ``_deliver_event`` so a due message costs one Python call.
+        self._deliver_fn: Callable[..., None] = self._deliver
         self._crashed: Set[SiteId] = set()
         #: Per-site crash count. A message in flight remembers its
         #: sender's incarnation at send time; a mismatch at delivery time
@@ -414,6 +435,10 @@ class Network:
         #: drop the message — even if the sender has already recovered.
         self._incarnation: Dict[SiteId, int] = {}
         self._severed: Set[Tuple[SiteId, SiteId]] = set()
+        #: Latched True by the first :meth:`crash` or :meth:`sever` and
+        #: never cleared; while False, every delivery-time drop check is
+        #: vacuous, which the simulator's fast delivery path exploits.
+        self._ever_faulted = False
         if fault_model is not None and fault_rng is None:
             raise ConfigurationError(
                 "a fault model needs its own RNG stream (fault_rng)"
@@ -439,6 +464,16 @@ class Network:
         """Register the single delivery callback (set by the simulator)."""
         self._deliver_cb = callback
 
+    def set_deliver_event(self, fn: Callable[..., None]) -> None:
+        """Install a fused due-message callback (simulator optimization).
+
+        ``fn(src, dst, payload, latency, inc)`` replaces the layered
+        :meth:`_deliver` → delivery-callback chain for every subsequently
+        scheduled message. The caller owns replicating :meth:`_deliver`'s
+        drop checks and accounting in the exact same order.
+        """
+        self._deliver_fn = fn
+
     # -- failure injection -------------------------------------------------
 
     def crash(self, site: SiteId) -> None:
@@ -450,6 +485,7 @@ class Network:
         the site's incarnation, so its pre-crash traffic can never
         arrive late, not even after the site recovers.
         """
+        self._ever_faulted = True
         self._crashed.add(site)
         self._incarnation[site] = self._incarnation.get(site, 0) + 1
 
@@ -459,6 +495,7 @@ class Network:
 
     def sever(self, a: SiteId, b: SiteId) -> None:
         """Cut the bidirectional link between ``a`` and ``b``."""
+        self._ever_faulted = True
         self._severed.add((a, b))
         self._severed.add((b, a))
 
@@ -515,6 +552,7 @@ class Network:
         payload: Any,
         type_name: str,
         piggybacked: bool = False,
+        now: Optional[float] = None,
     ) -> Optional[float]:
         """Queue ``payload`` for FIFO delivery from ``src`` to ``dst``.
 
@@ -523,6 +561,9 @@ class Network:
         feeds the per-type message counters; a piggyback bundle is counted
         once under its combined name, following the paper's costing rule
         (Section 5: a piggybacked control message counts as one message).
+        ``now`` lets the simulator pass its clock value directly (it is
+        constant for the duration of one event callback), skipping the
+        clock-callable indirection on the hot path.
         """
         if self._deliver_cb is None:
             raise SimulationError("network has no delivery callback installed")
@@ -548,10 +589,19 @@ class Network:
         by_destination[dst] = by_destination.get(dst, 0) + 1
 
         channel = (src, dst)
-        now = self._now()
-        delay = self._sample(self._rng, src, dst)
-        if delay <= 0:
-            raise SimulationError(f"delay model produced non-positive delay {delay}")
+        if now is None:
+            now = self._now()
+        low = self._uniform_low
+        if low is not None:
+            # UniformDelay guarantees 0 < low <= high, so the sampled
+            # delay is positive by construction and needs no check.
+            delay = low + self._uniform_span * self._rng_random()
+        else:
+            delay = self._sample(self._rng, src, dst)
+            if delay <= 0:
+                raise SimulationError(
+                    f"delay model produced non-positive delay {delay}"
+                )
 
         faults = self._faults
         duplicated = False
@@ -598,7 +648,7 @@ class Network:
         inc = self._incarnation.get(src, 0) if self._incarnation else 0
         self._schedule(
             deliver_at,
-            self._deliver,
+            self._deliver_fn,
             (src, dst, payload, deliver_at - now, inc),
             type_name,
         )
@@ -610,11 +660,97 @@ class Network:
             dup_delay = self._sample(self._fault_rng, src, dst) * self._delay_factor
             self._schedule(
                 now + dup_delay,
-                self._deliver,
+                self._deliver_fn,
                 (src, dst, payload, dup_delay, inc),
                 type_name,
             )
         return deliver_at
+
+    def send_many(
+        self,
+        src: SiteId,
+        dsts: Any,
+        payload: Any,
+        type_name: str,
+        piggybacked: bool = False,
+        now: Optional[float] = None,
+    ) -> None:
+        """Batch delivery path: one payload to several destinations.
+
+        Semantically identical to calling :meth:`send` once per
+        destination, in order — same per-channel delay samples (drawn in
+        destination order from the same RNG), same FIFO clamps, same
+        counters — but the clock, stats dicts, and scheduler are bound
+        once per batch instead of once per message, and consecutive sends
+        to the same destination reuse the bound channel state. This is
+        the quorum-broadcast fast path (a requester asks every member of
+        its ``req_set`` in one call).
+
+        With a fault model installed the batch degrades to per-message
+        :meth:`send` calls so every fault decision consumes the fault RNG
+        stream in the exact order of the unbatched path.
+        """
+        if self._faults is not None:
+            for dst in dsts:
+                self.send(src, dst, payload, type_name, piggybacked, now)
+            return
+        if self._deliver_cb is None:
+            raise SimulationError("network has no delivery callback installed")
+        stats = self.stats
+        crashed = self._crashed
+        severed = self._severed
+        check_drop = bool(crashed or severed)
+        by_type = stats.by_type
+        by_destination = stats.by_destination
+        if now is None:
+            now = self._now()
+        low = self._uniform_low
+        span = self._uniform_span
+        rng_random = self._rng_random
+        sample = self._sample
+        rng = self._rng
+        last_delivery = self._last_delivery
+        schedule = self._schedule
+        deliver_fn = self._deliver_fn
+        inc = self._incarnation.get(src, 0) if self._incarnation else 0
+        sent = 0
+        for dst in dsts:
+            if src == dst:
+                raise SimulationError(
+                    "self-delivery must be handled locally by the node layer, "
+                    f"site {src} tried to send {type_name} to itself"
+                )
+            if check_drop and (
+                src in crashed or dst in crashed or (src, dst) in severed
+            ):
+                stats.messages_dropped += 1
+                continue
+            sent += 1
+            by_type[type_name] = by_type.get(type_name, 0) + 1
+            by_destination[dst] = by_destination.get(dst, 0) + 1
+            if low is not None:
+                delay = low + span * rng_random()
+            else:
+                delay = sample(rng, src, dst)
+                if delay <= 0:
+                    raise SimulationError(
+                        f"delay model produced non-positive delay {delay}"
+                    )
+            deliver_at = now + delay
+            channel = (src, dst)
+            prev = last_delivery.get(channel)
+            if prev is not None:
+                fifo_floor = prev + 1e-9  # FIFO_EPSILON
+                if deliver_at < fifo_floor:
+                    deliver_at = fifo_floor
+            last_delivery[channel] = deliver_at
+            schedule(
+                deliver_at,
+                deliver_fn,
+                (src, dst, payload, deliver_at - now, inc),
+                type_name,
+            )
+        stats.messages_sent += sent
 
     def _deliver(
         self,

@@ -204,6 +204,7 @@ def _clone_site(site, fake_sim: _FakeSim, listener: _SafetyListener):
     new.site_id = site.site_id
     new._sim = fake_sim
     new.crashed = site.crashed
+    new._net_send = site._net_send
     # MutexSite
     new._cs_duration = site._cs_duration
     new.listener = listener
@@ -212,6 +213,7 @@ def _clone_site(site, fake_sim: _FakeSim, listener: _SafetyListener):
     new.completed = site.completed
     # CaoSinghalSite
     new.quorum = site.quorum
+    new._quorum_sorted = site._quorum_sorted
     new.enable_transfer = site.enable_transfer
     new.arbiter = site.arbiter.clone()
     new.req = site.req.clone()

@@ -47,9 +47,15 @@ def golden_config(algorithm: str, seed: int) -> RunConfig:
     )
 
 
-def fingerprint_run(config: RunConfig) -> Dict[str, object]:
-    """Run ``config`` and reduce the outcome to stable digests."""
-    result = run_mutex(config)
+def fingerprint_run(config: RunConfig, loop=None) -> Dict[str, object]:
+    """Run ``config`` and reduce the outcome to stable digests.
+
+    ``loop`` is forwarded to :func:`run_mutex`, which lets the
+    equivalence suite fingerprint the same configuration through an
+    alternative main loop (e.g. one-event-at-a-time ``sim.step()``)
+    and prove it byte-identical to the cohort loop.
+    """
+    result = run_mutex(config, loop)
     summary_json = json.dumps(result.summary.to_dict(), sort_keys=True)
     summary_sha = hashlib.sha256(summary_json.encode("utf-8")).hexdigest()
 

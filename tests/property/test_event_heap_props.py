@@ -80,6 +80,37 @@ class EventQueueMachine(RuleBasedStateMachine):
             assert (event.time, event.seq) == expected
             del self.live[event.seq]
 
+    @rule(bound=st.one_of(st.none(), st.floats(0.0, 100.0, allow_nan=False)))
+    def pop_cohort_drains_earliest_timestamp(self, bound):
+        # The cohort must be exactly the model's live events at the
+        # minimum live time <= bound, in seq order — and nothing else.
+        live = self.live.values()
+        min_time = min((h.time for h in live), default=None)
+        if min_time is None or (bound is not None and min_time > bound):
+            expected = []
+        else:
+            expected = sorted(
+                (h.seq for h in live if h.time == min_time)
+            )
+        cohort = self.queue.pop_cohort(limit=bound)
+        assert [e.seq for e in cohort] == expected
+        for e in cohort:
+            del self.live[e.seq]
+
+    @precondition(lambda self: self.live)
+    @rule(data=st.data())
+    def pop_cohort_then_requeue_tail(self, data):
+        # Mid-cohort interruption: execute a prefix, requeue the rest.
+        # The requeued tail keeps its (time, seq) identity, so later
+        # rules must see it exactly where the model says it is.
+        cohort = self.queue.pop_cohort()
+        if not cohort:
+            return
+        cut = data.draw(st.integers(0, len(cohort)))
+        for e in cohort[:cut]:
+            del self.live[e.seq]
+        self.queue.requeue(cohort[cut:])
+
     @rule()
     def peek_matches_min_live_time(self):
         expected = min((h.time for h in self.live.values()), default=None)

@@ -231,6 +231,64 @@ def test_cache_miss_on_salt_change(tmp_path):
     assert bumped.stats.misses == 1
 
 
+def test_chunked_dispatch_matches_serial(monkeypatch):
+    # Chunking changes how trials cross the worker boundary, never what
+    # they return: every chunk size must merge byte-identically.
+    monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 4)
+    config = small_config()
+    serial = TrialPool(workers=1).run_seeds(config, SEEDS)
+    for chunk_size in (1, 2, 3, 16):
+        chunked = TrialPool(workers=2, chunk_size=chunk_size).run_seeds(
+            config, SEEDS
+        )
+        assert canonical(chunked) == canonical(serial)
+
+
+def test_one_chunk_batches_run_in_process(monkeypatch):
+    # chunk_size >= trial count collapses the batch into a single chunk;
+    # a pool would hand that chunk to one worker anyway, so no executor
+    # (process or thread) may be constructed.
+    monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 4)
+
+    def no_pool(*args, **kwargs):
+        raise AssertionError("executor constructed for a single chunk")
+
+    monkeypatch.setattr(pool_module, "ProcessPoolExecutor", no_pool)
+    monkeypatch.setattr(pool_module, "ThreadPoolExecutor", no_pool)
+    out = TrialPool(workers=4, chunk_size=8).run_seeds(small_config(), [0, 1])
+    assert [s.seed for s in out] == [0, 1]
+
+
+def test_thread_dispatch_matches_serial(monkeypatch):
+    monkeypatch.setattr(pool_module.os, "cpu_count", lambda: 4)
+
+    def no_process_pool(*args, **kwargs):
+        raise AssertionError("process pool constructed under thread dispatch")
+
+    monkeypatch.setattr(pool_module, "ProcessPoolExecutor", no_process_pool)
+    config = small_config()
+    serial = TrialPool(workers=1).run_seeds(config, SEEDS)
+    threaded = TrialPool(
+        workers=2, chunk_size=1, dispatch="thread"
+    ).run_seeds(config, SEEDS)
+    assert canonical(threaded) == canonical(serial)
+
+
+def test_dispatch_env_override(monkeypatch):
+    monkeypatch.setenv("REPRO_DISPATCH", "thread")
+    assert TrialPool().dispatch == "thread"
+    monkeypatch.setenv("REPRO_DISPATCH", "fibers")
+    with pytest.raises(ConfigurationError):
+        TrialPool()
+    monkeypatch.delenv("REPRO_DISPATCH")
+    assert TrialPool().dispatch == "auto"
+    assert TrialPool(dispatch="process").dispatch == "process"
+    with pytest.raises(ConfigurationError):
+        TrialPool(dispatch="greenlets")
+    with pytest.raises(ConfigurationError):
+        TrialPool(chunk_size=0)
+
+
 def test_workers_env_override(monkeypatch):
     monkeypatch.setenv("REPRO_WORKERS", "3")
     assert TrialPool().workers == 3

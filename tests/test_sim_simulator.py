@@ -202,6 +202,72 @@ def test_events_processed_counter():
     assert sim.events_processed == 5
 
 
+def test_until_bound_executes_the_whole_cohort_at_the_bound():
+    # ``until`` is inclusive: a cohort sitting exactly on the bound runs
+    # to completion, never partially.
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(5.0, lambda i=i: fired.append(i))
+    sim.schedule(5.000001, lambda: fired.append("beyond"))
+    sim.run(until=5.0)
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.now == 5.0
+    assert sim.pending_events() == 1
+
+
+def test_same_instant_followup_fires_within_the_bound():
+    # An event at t == until that schedules a zero-delay follow-up: the
+    # follow-up lands at the same instant (<= until) and must also run
+    # before the bound stops the loop.
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append("first")
+        sim.schedule(0.0, lambda: fired.append("follow-up"))
+
+    sim.schedule(5.0, first)
+    sim.run(until=5.0)
+    assert fired == ["first", "follow-up"]
+    assert sim.now == 5.0
+
+
+def test_cancel_inside_a_cohort_skips_the_later_member():
+    # Lazy cancellation across a popped cohort: an earlier member
+    # cancelling a later one must suppress its callback even though both
+    # were removed from the heap in the same pass.
+    sim = Simulator()
+    fired = []
+    handles = {}
+
+    def first():
+        fired.append("first")
+        handles["second"].cancel()
+
+    sim.schedule(5.0, first)
+    handles["second"] = sim.schedule(5.0, lambda: fired.append("second"))
+    sim.schedule(5.0, lambda: fired.append("third"))
+    sim.run()
+    assert fired == ["first", "third"]
+
+
+def test_max_events_exhaustion_mid_cohort_requeues_remainder():
+    # The event budget can run out in the middle of a cohort; the
+    # unexecuted tail must survive (under its original order) so a later
+    # run continues exactly where the one-at-a-time loop would have.
+    sim = Simulator()
+    fired = []
+    for i in range(6):
+        sim.schedule(5.0, lambda i=i: fired.append(i))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.pending_events() == 3
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.events_processed == 6
+
+
 def test_deterministic_replay_same_seed():
     def transcript(seed):
         sim = Simulator(seed=seed)
